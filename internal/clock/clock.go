@@ -1,0 +1,176 @@
+// Package clock models the drifting hardware clocks of the paper's
+// Section 3.3: each node u has a continuous hardware clock H_u whose rate
+// stays within [1-rho, 1+rho] times real time, with H_u(0) = 0.
+//
+// Clocks are piecewise linear: the rate changes only at discrete
+// breakpoints (driven by rate drivers or adversarial schedules), so
+// reading a clock between events is exact. The package also provides
+// subjective timers — "fire when H_u has advanced by dH" — which are the
+// primitive behind the algorithm's set_timer(dt, id) calls. Subjective
+// timers stay correct across rate changes: every rate change reschedules
+// the pending timers at the new exact fire time.
+package clock
+
+import (
+	"fmt"
+
+	"gcs/internal/des"
+)
+
+// HardwareClock is one node's drifting hardware clock. It is owned by a
+// single des.Engine and is not safe for concurrent use.
+type HardwareClock struct {
+	en *des.Engine
+
+	// Piecewise-linear state: H(t) = lastH + rate*(t-lastT) for t >= lastT.
+	lastT des.Time
+	lastH float64
+	rate  float64
+
+	// Pending subjective timers, rescheduled on every rate change.
+	timers map[*Timer]struct{}
+
+	// maxRate/minRate observed, for drift validation in tests.
+	minRateSeen, maxRateSeen float64
+}
+
+// New returns a hardware clock reading 0 at the engine's current time,
+// running at the given initial rate.
+func New(en *des.Engine, initialRate float64) *HardwareClock {
+	if initialRate <= 0 {
+		panic("clock: nonpositive rate")
+	}
+	return &HardwareClock{
+		en:          en,
+		lastT:       en.Now(),
+		lastH:       0,
+		rate:        initialRate,
+		timers:      make(map[*Timer]struct{}),
+		minRateSeen: initialRate,
+		maxRateSeen: initialRate,
+	}
+}
+
+// Now returns the hardware clock reading at the engine's current time.
+func (c *HardwareClock) Now() float64 {
+	return c.ReadAt(c.en.Now())
+}
+
+// ReadAt returns H(t). t must not precede the last rate breakpoint; the
+// simulation only ever reads clocks at or after the current event time.
+func (c *HardwareClock) ReadAt(t des.Time) float64 {
+	if t < c.lastT {
+		panic(fmt.Sprintf("clock: read at %v before last breakpoint %v", t, c.lastT))
+	}
+	return c.lastH + c.rate*(t-c.lastT)
+}
+
+// Rate returns the clock's current rate (d H / d t).
+func (c *HardwareClock) Rate() float64 { return c.rate }
+
+// RateBoundsSeen returns the minimum and maximum rates the clock has run
+// at since creation. Tests use it to assert the drift bound.
+func (c *HardwareClock) RateBoundsSeen() (min, max float64) {
+	return c.minRateSeen, c.maxRateSeen
+}
+
+// SetRate changes the clock rate as of the engine's current time and
+// reschedules all pending subjective timers to their new exact fire
+// times. Rates must be positive; the paper's model requires rates in
+// [1-rho, 1+rho] with rho < 1, which drivers enforce.
+func (c *HardwareClock) SetRate(rate float64) {
+	if rate <= 0 {
+		panic("clock: nonpositive rate")
+	}
+	now := c.en.Now()
+	c.lastH = c.ReadAt(now)
+	c.lastT = now
+	c.rate = rate
+	if rate < c.minRateSeen {
+		c.minRateSeen = rate
+	}
+	if rate > c.maxRateSeen {
+		c.maxRateSeen = rate
+	}
+	for tm := range c.timers {
+		c.reschedule(tm)
+	}
+}
+
+// timeWhen returns the real time at which the clock will read hTarget,
+// assuming the current rate persists. hTarget must be >= the current
+// reading.
+func (c *HardwareClock) timeWhen(hTarget float64) des.Time {
+	now := c.en.Now()
+	h := c.ReadAt(now)
+	if hTarget < h {
+		// Timer target already passed; fire immediately. This can only
+		// happen through floating-point rounding at a breakpoint.
+		return now
+	}
+	return now + (hTarget-h)/c.rate
+}
+
+// Timer is a pending subjective timer: it fires when the owning clock
+// reaches a target reading, surviving any number of rate changes in
+// between.
+type Timer struct {
+	c       *HardwareClock
+	targetH float64
+	label   string
+	fn      func()
+	ev      *des.Event
+	fired   bool
+}
+
+// SetTimer schedules fn to run when the clock has advanced by dH from its
+// current reading (the paper's set_timer(dt, id)). dH must be
+// nonnegative.
+func (c *HardwareClock) SetTimer(dH float64, label string, fn func()) *Timer {
+	if dH < 0 {
+		panic("clock: negative timer duration")
+	}
+	tm := &Timer{
+		c:       c,
+		targetH: c.Now() + dH,
+		label:   label,
+		fn:      fn,
+	}
+	c.timers[tm] = struct{}{}
+	c.reschedule(tm)
+	return tm
+}
+
+// reschedule (re)registers the engine event backing tm.
+func (c *HardwareClock) reschedule(tm *Timer) {
+	if tm.ev != nil {
+		c.en.Cancel(tm.ev)
+	}
+	tm.ev = c.en.Schedule(c.timeWhen(tm.targetH), tm.label, func() {
+		tm.fired = true
+		delete(c.timers, tm)
+		tm.fn()
+	})
+}
+
+// Cancel cancels the timer (the paper's cancel(id)). Cancelling a nil,
+// fired, or already-cancelled timer is a no-op.
+func (c *HardwareClock) CancelTimer(tm *Timer) {
+	if tm == nil || tm.fired {
+		return
+	}
+	delete(c.timers, tm)
+	if tm.ev != nil {
+		c.en.Cancel(tm.ev)
+		tm.ev = nil
+	}
+}
+
+// Fired reports whether the timer has fired.
+func (tm *Timer) Fired() bool { return tm.fired }
+
+// TargetH returns the hardware reading at which the timer fires.
+func (tm *Timer) TargetH() float64 { return tm.targetH }
+
+// PendingTimers returns the number of subjective timers currently set.
+func (c *HardwareClock) PendingTimers() int { return len(c.timers) }

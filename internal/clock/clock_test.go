@@ -1,0 +1,335 @@
+package clock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gcs/internal/des"
+)
+
+func TestReadConstantRate(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1.0)
+	en.Schedule(10, "check", func() {
+		if got := c.Now(); got != 10 {
+			t.Errorf("H(10) = %v, want 10", got)
+		}
+	})
+	en.Run(10)
+	if got := c.Now(); got != 10 {
+		t.Fatalf("H(10) after run = %v, want 10", got)
+	}
+}
+
+func TestReadFastSlow(t *testing.T) {
+	en := des.NewEngine()
+	fast := New(en, 1.1)
+	slow := New(en, 0.9)
+	en.Run(100)
+	if got := fast.Now(); math.Abs(got-110) > 1e-9 {
+		t.Fatalf("fast H(100) = %v, want 110", got)
+	}
+	if got := slow.Now(); math.Abs(got-90) > 1e-9 {
+		t.Fatalf("slow H(100) = %v, want 90", got)
+	}
+}
+
+func TestSetRateBreakpoint(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1.0)
+	en.Schedule(10, "speedup", func() { c.SetRate(2.0) })
+	en.Run(15)
+	// H = 10*1 + 5*2 = 20.
+	if got := c.Now(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("H(15) = %v, want 20", got)
+	}
+}
+
+func TestReadAtPastPanics(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1.0)
+	en.Schedule(5, "bp", func() { c.SetRate(1.5) })
+	en.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReadAt before breakpoint did not panic")
+		}
+	}()
+	c.ReadAt(3)
+}
+
+func TestNonpositiveRatePanics(t *testing.T) {
+	en := des.NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with rate 0 did not panic")
+		}
+	}()
+	New(en, 0)
+}
+
+func TestTimerConstantRate(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 2.0) // subjective time runs twice as fast
+	var firedAt des.Time = -1
+	c.SetTimer(10, "tick", func() { firedAt = en.Now() })
+	en.Run(100)
+	// dH=10 at rate 2 -> 5 real seconds.
+	if math.Abs(firedAt-5) > 1e-9 {
+		t.Fatalf("timer fired at %v, want 5", firedAt)
+	}
+}
+
+func TestTimerSurvivesRateChange(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1.0)
+	var firedAt des.Time = -1
+	c.SetTimer(10, "tick", func() { firedAt = en.Now() })
+	// At t=4 (H=4), slow down to 0.5: remaining dH=6 takes 12 real secs.
+	en.Schedule(4, "slow", func() { c.SetRate(0.5) })
+	en.Run(100)
+	if math.Abs(firedAt-16) > 1e-9 {
+		t.Fatalf("timer fired at %v, want 16", firedAt)
+	}
+}
+
+func TestTimerSurvivesManyRateChanges(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1.0)
+	var firedAt des.Time = -1
+	c.SetTimer(10, "tick", func() { firedAt = en.Now() })
+	// Alternate 0.5 / 2.0 every second; average progress per 2s = 2.5 H.
+	rate := 0.5
+	var flip func()
+	flip = func() {
+		c.SetRate(rate)
+		if rate == 0.5 {
+			rate = 2.0
+		} else {
+			rate = 0.5
+		}
+		en.ScheduleAfter(1, "flip", flip)
+	}
+	en.Schedule(1, "flip", flip)
+	en.Run(100)
+	// H(t): 1 at t=1, then rates 0.5,2 alternating each second:
+	// H(2)=1.5, H(3)=3.5, H(4)=4, H(5)=6, H(6)=6.5, H(7)=8.5, H(8)=9,
+	// then rate 2 reaches H=10 at t=8.5.
+	if math.Abs(firedAt-8.5) > 1e-9 {
+		t.Fatalf("timer fired at %v, want 8.5", firedAt)
+	}
+}
+
+func TestCancelTimer(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1.0)
+	fired := false
+	tm := c.SetTimer(5, "tick", func() { fired = true })
+	c.CancelTimer(tm)
+	en.Run(10)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if c.PendingTimers() != 0 {
+		t.Fatalf("PendingTimers = %d, want 0", c.PendingTimers())
+	}
+	c.CancelTimer(tm) // no-op
+	c.CancelTimer(nil)
+}
+
+func TestTimerFiredFlag(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1.0)
+	tm := c.SetTimer(5, "tick", func() {})
+	if tm.Fired() {
+		t.Fatal("timer marked fired before firing")
+	}
+	en.Run(10)
+	if !tm.Fired() {
+		t.Fatal("timer not marked fired")
+	}
+	c.CancelTimer(tm) // no-op after fire
+}
+
+func TestTimerZeroDuration(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1.0)
+	en.Schedule(3, "setup", func() {
+		c.SetTimer(0, "imm", func() {
+			if en.Now() != 3 {
+				t.Errorf("zero timer fired at %v, want 3", en.Now())
+			}
+		})
+	})
+	en.Run(10)
+}
+
+func TestNegativeTimerPanics(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative timer did not panic")
+		}
+	}()
+	c.SetTimer(-1, "bad", func() {})
+}
+
+func TestTargetH(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1.0)
+	en.Schedule(2, "set", func() {
+		tm := c.SetTimer(7, "x", func() {})
+		if got := tm.TargetH(); math.Abs(got-9) > 1e-12 {
+			t.Errorf("TargetH = %v, want 9", got)
+		}
+	})
+	en.Run(20)
+}
+
+func TestScheduleDriver(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1.0)
+	Schedule{
+		Initial: 1.0,
+		Breakpoints: []Breakpoint{
+			{At: 10, Rate: 2.0},
+			{At: 20, Rate: 0.5},
+		},
+	}.Install(en, c)
+	en.Run(30)
+	// H = 10 + 10*2 + 10*0.5 = 35
+	if got := c.Now(); math.Abs(got-35) > 1e-9 {
+		t.Fatalf("H(30) = %v, want 35", got)
+	}
+	min, max := c.RateBoundsSeen()
+	if min != 0.5 || max != 2.0 {
+		t.Fatalf("rate bounds = %v,%v", min, max)
+	}
+}
+
+func TestLayeredRateMatchesEquationOne(t *testing.T) {
+	// Eq. (1) of the paper: H(t) = t + min(rho*t, maxDelay*dist).
+	const rho = 0.01
+	const maxDelay = 1.0
+	for _, dist := range []int{0, 1, 3, 7} {
+		en := des.NewEngine()
+		c := New(en, 1.0)
+		LayeredRate(rho, maxDelay, dist).Install(en, c)
+		for _, sample := range []des.Time{50, 100, 300, 500, 1000} {
+			en.Run(sample)
+			want := sample + math.Min(rho*sample, maxDelay*float64(dist))
+			if got := c.Now(); math.Abs(got-want) > 1e-6 {
+				t.Fatalf("dist=%d H(%v) = %v, want %v", dist, sample, got, want)
+			}
+		}
+	}
+}
+
+func TestRandomWalkStaysInBounds(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1.0)
+	RandomWalk{Rho: 0.05, Interval: 1, Rand: des.NewRand(3)}.Install(en, c)
+	en.Run(200)
+	min, max := c.RateBoundsSeen()
+	if min < 0.95 || max > 1.05 {
+		t.Fatalf("random walk escaped drift bounds: [%v, %v]", min, max)
+	}
+	// The clock must have advanced roughly like real time.
+	h := c.Now()
+	if h < 200*0.95 || h > 200*1.05 {
+		t.Fatalf("H(200) = %v outside drift envelope", h)
+	}
+}
+
+func TestBangBang(t *testing.T) {
+	en := des.NewEngine()
+	a := New(en, 1.0)
+	b := New(en, 1.0)
+	BangBang{Rho: 0.1, Interval: 5, StartHigh: true}.Install(en, a)
+	BangBang{Rho: 0.1, Interval: 5, StartHigh: false}.Install(en, b)
+	en.Run(5)
+	// After one interval the clocks are 2*rho*interval apart.
+	gap := a.Now() - b.Now()
+	if math.Abs(gap-1.0) > 1e-9 {
+		t.Fatalf("gap after 5s = %v, want 1.0", gap)
+	}
+	en.Run(10)
+	// Second interval reverses the rates; gap returns to 0.
+	gap = a.Now() - b.Now()
+	if math.Abs(gap) > 1e-9 {
+		t.Fatalf("gap after 10s = %v, want 0", gap)
+	}
+}
+
+func TestValidateRate(t *testing.T) {
+	ValidateRate(1.0, 0.01)
+	ValidateRate(0.99, 0.01)
+	ValidateRate(1.01, 0.01)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds rate did not panic")
+		}
+	}()
+	ValidateRate(1.02, 0.01)
+}
+
+// Property: for any sequence of rate changes within [1-rho, 1+rho], the
+// clock's advance over any window respects the drift bound (paper §3.3):
+// (1-rho)(t2-t1) <= H(t2)-H(t1) <= (1+rho)(t2-t1).
+func TestPropertyDriftEnvelope(t *testing.T) {
+	const rho = 0.1
+	prop := func(seed uint64) bool {
+		r := des.NewRand(seed)
+		en := des.NewEngine()
+		c := New(en, r.Range(1-rho, 1+rho))
+		// Random rate changes at random times.
+		tPrev := des.Time(0)
+		hPrev := 0.0
+		ok := true
+		for i := 0; i < 40; i++ {
+			dt := r.Range(0.01, 5)
+			en.Run(en.Now() + dt)
+			h := c.Now()
+			lo := (1 - rho) * (en.Now() - tPrev)
+			hi := (1 + rho) * (en.Now() - tPrev)
+			dH := h - hPrev
+			if dH < lo-1e-9 || dH > hi+1e-9 {
+				ok = false
+			}
+			tPrev, hPrev = en.Now(), h
+			c.SetRate(r.Range(1-rho, 1+rho))
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a subjective timer set for dH fires exactly when the clock
+// reads start+dH, across arbitrary legal rate changes.
+func TestPropertyTimerExactness(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := des.NewRand(seed)
+		en := des.NewEngine()
+		c := New(en, r.Range(0.5, 2))
+		dH := r.Range(1, 20)
+		var readingAtFire float64 = -1
+		c.SetTimer(dH, "t", func() { readingAtFire = c.Now() })
+		// Random rate perturbations.
+		for i := 0; i < 20; i++ {
+			at := r.Range(0, 30)
+			rate := r.Range(0.5, 2)
+			if at >= en.Now() {
+				en.Schedule(at, "perturb", func() { c.SetRate(rate) })
+			}
+		}
+		en.Run(100)
+		return readingAtFire >= 0 && math.Abs(readingAtFire-dH) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package clock
+
+import (
+	"fmt"
+	"sort"
+
+	"gcs/internal/des"
+)
+
+// A Driver controls how a hardware clock's rate evolves over simulated
+// time. Drivers install engine events that call SetRate; the clock itself
+// stays passive. Drivers model the adversary of the paper's Section 3.3,
+// which may vary each clock's rate arbitrarily within [1-rho, 1+rho].
+type Driver interface {
+	// Install attaches the driver to a clock on an engine. It must be
+	// called once, before the simulation runs past the engine's current
+	// time.
+	Install(en *des.Engine, c *HardwareClock)
+}
+
+// ConstantRate keeps the clock at a fixed rate forever.
+type ConstantRate struct {
+	Rate float64
+}
+
+// Install implements Driver.
+func (d ConstantRate) Install(en *des.Engine, c *HardwareClock) {
+	c.SetRate(d.Rate)
+}
+
+// Breakpoint is one segment boundary of an explicit rate schedule.
+type Breakpoint struct {
+	At   des.Time // absolute real time the new rate takes effect
+	Rate float64
+}
+
+// Schedule replays an explicit list of rate breakpoints. It is the
+// building block for the lower bound's layered executions (Section 4,
+// Eq. 1), where node x runs at 1+rho until real time T*dist_M(u,x)/rho
+// and at 1 afterwards.
+type Schedule struct {
+	Initial     float64
+	Breakpoints []Breakpoint
+}
+
+// Install implements Driver.
+func (d Schedule) Install(en *des.Engine, c *HardwareClock) {
+	c.SetRate(d.Initial)
+	bps := append([]Breakpoint(nil), d.Breakpoints...)
+	sort.Slice(bps, func(i, j int) bool { return bps[i].At < bps[j].At })
+	for _, bp := range bps {
+		if bp.At < en.Now() {
+			panic(fmt.Sprintf("clock: schedule breakpoint at %v in the past", bp.At))
+		}
+		rate := bp.Rate
+		en.Schedule(bp.At, "clock.rate", func() { c.SetRate(rate) })
+	}
+}
+
+// LayeredRate returns the Section 4 / Eq. (1) adversarial schedule for a
+// node at flexible distance dist from the reference node u, with message
+// delay bound maxDelay: H(t) = t + min(rho*t, maxDelay*dist). The node
+// runs at rate 1+rho until t = maxDelay*dist/rho, then at rate 1. A node
+// at distance 0 runs at rate 1 throughout.
+func LayeredRate(rho, maxDelay float64, dist int) Schedule {
+	if dist <= 0 || rho == 0 {
+		return Schedule{Initial: 1}
+	}
+	switchAt := maxDelay * float64(dist) / rho
+	return Schedule{
+		Initial:     1 + rho,
+		Breakpoints: []Breakpoint{{At: switchAt, Rate: 1}},
+	}
+}
+
+// RandomWalk re-draws the clock rate uniformly in [1-rho, 1+rho] every
+// Interval of real time (jittered by up to half an interval so that
+// different clocks drift out of phase). It models benign environmental
+// drift: temperature-driven oscillator wander.
+type RandomWalk struct {
+	Rho      float64
+	Interval des.Time
+	Rand     *des.Rand
+}
+
+// Install implements Driver.
+func (d RandomWalk) Install(en *des.Engine, c *HardwareClock) {
+	if d.Interval <= 0 {
+		panic("clock: RandomWalk interval must be positive")
+	}
+	r := d.Rand
+	if r == nil {
+		r = des.NewRand(1)
+	}
+	c.SetRate(r.Range(1-d.Rho, 1+d.Rho))
+	var step func()
+	step = func() {
+		c.SetRate(r.Range(1-d.Rho, 1+d.Rho))
+		en.ScheduleAfter(d.Interval*(0.5+r.Float64()), "clock.walk", step)
+	}
+	en.ScheduleAfter(d.Interval*(0.5+r.Float64()), "clock.walk", step)
+}
+
+// BangBang alternates between the two extreme legal rates 1-rho and
+// 1+rho every Interval. It is the worst benign drift pattern for skew
+// accumulation between a pair of anti-phased clocks.
+type BangBang struct {
+	Rho      float64
+	Interval des.Time
+	// StartHigh selects the initial extreme.
+	StartHigh bool
+}
+
+// Install implements Driver.
+func (d BangBang) Install(en *des.Engine, c *HardwareClock) {
+	if d.Interval <= 0 {
+		panic("clock: BangBang interval must be positive")
+	}
+	high := d.StartHigh
+	set := func() {
+		if high {
+			c.SetRate(1 + d.Rho)
+		} else {
+			c.SetRate(1 - d.Rho)
+		}
+		high = !high
+	}
+	set()
+	var flip func()
+	flip = func() {
+		set()
+		en.ScheduleAfter(d.Interval, "clock.bang", flip)
+	}
+	en.ScheduleAfter(d.Interval, "clock.bang", flip)
+}
+
+// ValidateRate panics unless rate is within [1-rho, 1+rho]. Drivers used
+// in paper-faithful experiments call it before SetRate.
+func ValidateRate(rate, rho float64) {
+	if rate < 1-rho-1e-12 || rate > 1+rho+1e-12 {
+		panic(fmt.Sprintf("clock: rate %v outside [1-rho,1+rho] for rho=%v", rate, rho))
+	}
+}

@@ -1,0 +1,223 @@
+// Package des implements a deterministic discrete-event simulation kernel.
+//
+// The kernel models the continuous-time executions of the paper's Timed
+// I/O Automata network model (Kuhn, Locher, Oshman, MIT-CSAIL-TR-2009-022,
+// Section 3.2): time is a nonnegative real (float64), events fire in
+// nondecreasing time order, and ties are broken deterministically by
+// scheduling order, so a simulation with a fixed seed is bit-reproducible.
+//
+// All higher layers (clocks, transport, algorithms) are driven by this
+// kernel. Between events every continuous quantity in the system is
+// piecewise linear, so evaluating state lazily at event boundaries is
+// exact and introduces no discretization error.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated real time, in seconds. The simulation
+// starts at time 0, matching the paper's convention that all hardware
+// clocks read 0 at the beginning of the execution.
+type Time = float64
+
+// Handler is the callback invoked when an event fires. It runs at the
+// event's scheduled time; Engine.Now() returns that time for the duration
+// of the call.
+type Handler func()
+
+// Event is a scheduled occurrence in the simulation. Events are owned by
+// the engine; user code holds *Event handles only to cancel them.
+type Event struct {
+	t         Time
+	seq       uint64
+	fn        Handler
+	cancelled bool
+	index     int // heap index, -1 when popped
+	label     string
+}
+
+// Time returns the simulated time at which the event is (or was)
+// scheduled to fire.
+func (e *Event) Time() Time { return e.t }
+
+// Cancelled reports whether the event has been cancelled.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Label returns the debug label attached at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// eventQueue is a binary min-heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; the live goroutine runtime in internal/runtime is
+// the concurrent counterpart.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	// executed counts events that have fired (not cancelled ones).
+	executed uint64
+	// stopped is set by Stop to end Run early.
+	stopped bool
+}
+
+// NewEngine returns an engine positioned at time 0 with an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time. During an event handler this is
+// the handler's scheduled fire time.
+func (en *Engine) Now() Time { return en.now }
+
+// Executed returns the number of events that have fired so far.
+func (en *Engine) Executed() uint64 { return en.executed }
+
+// Pending returns the number of events in the queue, including cancelled
+// events that have not yet been discarded.
+func (en *Engine) Pending() int { return len(en.queue) }
+
+// Schedule registers fn to run at absolute time t and returns a handle
+// that can be cancelled. Scheduling in the past (t < Now) panics: the
+// network model has no retroactive events, so this is always a bug in the
+// caller.
+func (en *Engine) Schedule(t Time, label string, fn Handler) *Event {
+	if math.IsNaN(t) {
+		panic("des: schedule at NaN time")
+	}
+	if t < en.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v (%s)", t, en.now, label))
+	}
+	e := &Event{t: t, seq: en.nextSeq, fn: fn, label: label}
+	en.nextSeq++
+	heap.Push(&en.queue, e)
+	return e
+}
+
+// ScheduleAfter registers fn to run d seconds of simulated time from now.
+func (en *Engine) ScheduleAfter(d Time, label string, fn Handler) *Event {
+	return en.Schedule(en.now+d, label, fn)
+}
+
+// Cancel marks an event as cancelled. A cancelled event never fires.
+// Cancelling a nil, already-fired, or already-cancelled event is a no-op,
+// mirroring the paper's cancel(timer-ID) semantics.
+func (en *Engine) Cancel(e *Event) {
+	if e == nil || e.cancelled {
+		return
+	}
+	e.cancelled = true
+	if e.index >= 0 {
+		heap.Remove(&en.queue, e.index)
+		e.index = -1
+	}
+}
+
+// Stop makes the current Run invocation return after the current event
+// handler completes.
+func (en *Engine) Stop() { en.stopped = true }
+
+// Step fires the single earliest pending event, if any, and reports
+// whether an event fired.
+func (en *Engine) Step() bool {
+	for len(en.queue) > 0 {
+		e := heap.Pop(&en.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		en.now = e.t
+		en.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events in order until the queue is empty, Stop is called, or
+// the next event would fire strictly after horizon. On return Now() is
+// min(horizon, time of last event) if events fired, or horizon if the
+// queue drained earlier; the engine always advances Now to horizon so
+// that callers can sample end-of-run state.
+func (en *Engine) Run(horizon Time) {
+	en.stopped = false
+	for !en.stopped {
+		e := en.peek()
+		if e == nil || e.t > horizon {
+			break
+		}
+		en.Step()
+	}
+	if en.now < horizon {
+		en.now = horizon
+	}
+}
+
+// RunUntilIdle fires events until none remain or Stop is called. It
+// panics if more than maxEvents fire, as a guard against runaway
+// self-rescheduling loops.
+func (en *Engine) RunUntilIdle(maxEvents uint64) {
+	en.stopped = false
+	start := en.executed
+	for !en.stopped && en.Step() {
+		if en.executed-start > maxEvents {
+			panic(fmt.Sprintf("des: exceeded %d events (runaway schedule?)", maxEvents))
+		}
+	}
+}
+
+// peek returns the earliest non-cancelled event without firing it.
+func (en *Engine) peek() *Event {
+	for len(en.queue) > 0 {
+		e := en.queue[0]
+		if !e.cancelled {
+			return e
+		}
+		heap.Pop(&en.queue)
+	}
+	return nil
+}
+
+// NextEventTime returns the fire time of the earliest pending event and
+// true, or (0, false) if the queue is empty.
+func (en *Engine) NextEventTime() (Time, bool) {
+	e := en.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.t, true
+}

@@ -1,0 +1,392 @@
+package des
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	en := NewEngine()
+	var got []int
+	en.Schedule(3, "c", func() { got = append(got, 3) })
+	en.Schedule(1, "a", func() { got = append(got, 1) })
+	en.Schedule(2, "b", func() { got = append(got, 2) })
+	en.Run(10)
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	en := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		en.Schedule(5, "tie", func() { got = append(got, i) })
+	}
+	en.Run(10)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order violated: %v", got)
+		}
+	}
+}
+
+func TestNowDuringHandler(t *testing.T) {
+	en := NewEngine()
+	var at Time
+	en.Schedule(7.5, "x", func() { at = en.Now() })
+	en.Run(100)
+	if at != 7.5 {
+		t.Fatalf("Now inside handler = %v, want 7.5", at)
+	}
+	if en.Now() != 100 {
+		t.Fatalf("Now after Run = %v, want horizon 100", en.Now())
+	}
+}
+
+func TestScheduleAfter(t *testing.T) {
+	en := NewEngine()
+	var fired []Time
+	en.Schedule(2, "outer", func() {
+		en.ScheduleAfter(3, "inner", func() { fired = append(fired, en.Now()) })
+	})
+	en.Run(10)
+	if len(fired) != 1 || fired[0] != 5 {
+		t.Fatalf("ScheduleAfter fired at %v, want [5]", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	en := NewEngine()
+	fired := false
+	e := en.Schedule(1, "x", func() { fired = true })
+	en.Cancel(e)
+	en.Run(10)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	// Cancelling again and cancelling nil are no-ops.
+	en.Cancel(e)
+	en.Cancel(nil)
+}
+
+func TestCancelFromHandler(t *testing.T) {
+	en := NewEngine()
+	fired := false
+	var victim *Event
+	en.Schedule(1, "canceller", func() { en.Cancel(victim) })
+	victim = en.Schedule(2, "victim", func() { fired = true })
+	en.Run(10)
+	if fired {
+		t.Fatal("event cancelled from earlier handler still fired")
+	}
+}
+
+func TestCancelAlreadyFired(t *testing.T) {
+	en := NewEngine()
+	n := 0
+	e := en.Schedule(1, "x", func() { n++ })
+	en.Run(10)
+	en.Cancel(e) // must not panic or re-fire
+	en.Run(20)
+	if n != 1 {
+		t.Fatalf("event fired %d times", n)
+	}
+}
+
+func TestRunHorizonExcludesLaterEvents(t *testing.T) {
+	en := NewEngine()
+	var got []Time
+	en.Schedule(1, "a", func() { got = append(got, 1) })
+	en.Schedule(5, "b", func() { got = append(got, 5) })
+	en.Run(3)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("events before horizon: %v", got)
+	}
+	if en.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", en.Now())
+	}
+	en.Run(10)
+	if len(got) != 2 || got[1] != 5 {
+		t.Fatalf("resumed run: %v", got)
+	}
+}
+
+func TestEventAtHorizonFires(t *testing.T) {
+	en := NewEngine()
+	fired := false
+	en.Schedule(3, "edge", func() { fired = true })
+	en.Run(3)
+	if !fired {
+		t.Fatal("event exactly at horizon did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	en := NewEngine()
+	var got []int
+	en.Schedule(1, "a", func() { got = append(got, 1); en.Stop() })
+	en.Schedule(2, "b", func() { got = append(got, 2) })
+	en.Run(10)
+	if len(got) != 1 {
+		t.Fatalf("Stop did not stop run: %v", got)
+	}
+	// A later Run resumes.
+	en.Run(10)
+	if len(got) != 2 {
+		t.Fatalf("resume after Stop: %v", got)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	en := NewEngine()
+	en.Schedule(5, "x", func() {})
+	en.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	en.Schedule(1, "past", func() {})
+}
+
+func TestScheduleNaNPanics(t *testing.T) {
+	en := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling at NaN did not panic")
+		}
+	}()
+	en.Schedule(math.NaN(), "nan", func() {})
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	en := NewEngine()
+	n := 0
+	var ping func()
+	ping = func() {
+		n++
+		if n < 100 {
+			en.ScheduleAfter(1, "ping", ping)
+		}
+	}
+	en.Schedule(0, "start", ping)
+	en.RunUntilIdle(1000)
+	if n != 100 {
+		t.Fatalf("n = %d, want 100", n)
+	}
+	if en.Executed() != 100 {
+		t.Fatalf("Executed = %d, want 100", en.Executed())
+	}
+}
+
+func TestRunUntilIdleRunawayGuard(t *testing.T) {
+	en := NewEngine()
+	var loop func()
+	loop = func() { en.ScheduleAfter(1, "loop", loop) }
+	en.Schedule(0, "start", loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runaway schedule did not panic")
+		}
+	}()
+	en.RunUntilIdle(50)
+}
+
+func TestNextEventTime(t *testing.T) {
+	en := NewEngine()
+	if _, ok := en.NextEventTime(); ok {
+		t.Fatal("NextEventTime on empty queue returned ok")
+	}
+	e := en.Schedule(4, "a", func() {})
+	en.Schedule(6, "b", func() {})
+	if tm, ok := en.NextEventTime(); !ok || tm != 4 {
+		t.Fatalf("NextEventTime = %v,%v want 4,true", tm, ok)
+	}
+	en.Cancel(e)
+	if tm, ok := en.NextEventTime(); !ok || tm != 6 {
+		t.Fatalf("NextEventTime after cancel = %v,%v want 6,true", tm, ok)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	en := NewEngine()
+	en.Schedule(1, "a", func() {})
+	en.Schedule(2, "b", func() {})
+	if en.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", en.Pending())
+	}
+	en.Run(1)
+	if en.Pending() != 1 {
+		t.Fatalf("Pending after partial run = %d, want 1", en.Pending())
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	en := NewEngine()
+	e := en.Schedule(9, "mylabel", func() {})
+	if e.Time() != 9 {
+		t.Fatalf("Time = %v", e.Time())
+	}
+	if e.Label() != "mylabel" {
+		t.Fatalf("Label = %q", e.Label())
+	}
+}
+
+// Property: events always fire in nondecreasing time order, regardless of
+// insertion order, including events scheduled from inside handlers.
+func TestPropertyMonotoneFiring(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := NewRand(seed)
+		en := NewEngine()
+		last := -1.0
+		ok := true
+		var spawn func()
+		spawn = func() {
+			now := en.Now()
+			if now < last {
+				ok = false
+			}
+			last = now
+			if r.Float64() < 0.3 && en.Executed() < 500 {
+				en.ScheduleAfter(r.Range(0, 10), "spawn", spawn)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			en.Schedule(r.Range(0, 100), "init", spawn)
+		}
+		en.RunUntilIdle(10000)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an engine run with the same seed twice produces the identical
+// event count and final time (determinism).
+func TestPropertyDeterminism(t *testing.T) {
+	runOnce := func(seed uint64) (uint64, Time) {
+		r := NewRand(seed)
+		en := NewEngine()
+		var tick func()
+		tick = func() {
+			if r.Float64() < 0.9 && en.Now() < 1000 {
+				en.ScheduleAfter(r.Exp(1.0), "tick", tick)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			en.Schedule(r.Range(0, 5), "seed", tick)
+		}
+		en.Run(2000)
+		return en.Executed(), en.Now()
+	}
+	prop := func(seed uint64) bool {
+		n1, t1 := runOnce(seed)
+		n2, t2 := runOnce(seed)
+		return n1 == n2 && t1 == t2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandFork(t *testing.T) {
+	r := NewRand(42)
+	a := r.Fork(1)
+	b := r.Fork(2)
+	a2 := NewRand(42).Fork(1)
+	if a.Uint64() != a2.Uint64() {
+		t.Fatal("Fork not deterministic")
+	}
+	// Streams should differ.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("forked streams collided %d times", same)
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		g := r.Range(2, 5)
+		if g < 2 || g >= 5 {
+			t.Fatalf("Range out of range: %v", g)
+		}
+		n := r.Intn(10)
+		if n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %v", n)
+		}
+		e := r.Exp(3)
+		if e < 0 || math.IsNaN(e) {
+			t.Fatalf("Exp invalid: %v", e)
+		}
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(9)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandBoolProbability(t *testing.T) {
+	r := NewRand(11)
+	n := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.25) {
+			n++
+		}
+	}
+	frac := float64(n) / trials
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("Bool(0.25) frequency = %v", frac)
+	}
+}
+
+func TestRandRangePanics(t *testing.T) {
+	r := NewRand(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(hi<lo) did not panic")
+		}
+	}()
+	r.Range(5, 2)
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	r := NewRand(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}

@@ -1,0 +1,210 @@
+package dyngraph
+
+import (
+	"gcs/internal/des"
+)
+
+// Churn processes drive edge add/remove events on a Dynamic graph. Each
+// is designed so that the resulting execution remains T-interval
+// connected (Definition 3.1) for an appropriate T, which the tests
+// verify with Dynamic.VerifyIntervalConnectivity.
+
+// Churner installs topology-change events on an engine.
+type Churner interface {
+	Install(en *des.Engine, g *Dynamic)
+}
+
+// VolatileEdges churns a candidate edge pool around a static backbone:
+// each candidate independently alternates between present (exponential
+// mean Lifetime) and absent (exponential mean Absence). Because the
+// backbone never changes, the graph is T-interval connected for every T
+// as long as the backbone is connected.
+type VolatileEdges struct {
+	Candidates []Edge
+	Lifetime   float64 // mean present duration
+	Absence    float64 // mean absent duration
+	Rand       *des.Rand
+	// StartPresent adds every candidate at time 0.
+	StartPresent bool
+}
+
+// Install implements Churner.
+func (c VolatileEdges) Install(en *des.Engine, g *Dynamic) {
+	if c.Lifetime <= 0 || c.Absence <= 0 {
+		panic("dyngraph: VolatileEdges durations must be positive")
+	}
+	r := c.Rand
+	if r == nil {
+		r = des.NewRand(1)
+	}
+	for i, e := range c.Candidates {
+		e := e
+		rr := r.Fork(uint64(i))
+		var appear, vanish func()
+		appear = func() {
+			g.Add(en.Now(), e)
+			en.ScheduleAfter(rr.Exp(c.Lifetime), "churn.remove", vanish)
+		}
+		vanish = func() {
+			g.Remove(en.Now(), e)
+			en.ScheduleAfter(rr.Exp(c.Absence), "churn.add", appear)
+		}
+		if c.StartPresent || g.Present(e) {
+			if !g.Present(e) {
+				g.Add(0, e)
+			}
+			en.ScheduleAfter(rr.Exp(c.Lifetime), "churn.remove", vanish)
+		} else {
+			en.ScheduleAfter(rr.Exp(c.Absence), "churn.add", appear)
+		}
+	}
+}
+
+// RotatingStar cycles the network through star topologies with changing
+// hubs: every Period, the star centered at the next hub is added, and
+// Overlap later the previous star is removed. At every instant at least
+// one complete star exists, and any window of length >= Period contains
+// an interval where a single star spans all nodes, so the execution is
+// Period-interval connected. This is a maximally dynamic pattern: every
+// edge's endpoints change every Period.
+type RotatingStar struct {
+	Period  float64
+	Overlap float64 // how long consecutive stars coexist; 0 < Overlap < Period
+	// Hubs optionally fixes the hub sequence; default cycles 0..n-1.
+	Hubs []int
+}
+
+// Install implements Churner. The initial graph should contain the star
+// of the first hub (use Star(n) with hub 0, or leave empty and the
+// churner adds it at time 0).
+func (c RotatingStar) Install(en *des.Engine, g *Dynamic) {
+	if c.Period <= 0 || c.Overlap <= 0 || c.Overlap >= c.Period {
+		panic("dyngraph: RotatingStar needs 0 < Overlap < Period")
+	}
+	n := g.N()
+	hubAt := func(k int) int {
+		if len(c.Hubs) > 0 {
+			return c.Hubs[k%len(c.Hubs)]
+		}
+		return k % n
+	}
+	addStar := func(hub int) {
+		for v := 0; v < n; v++ {
+			if v != hub {
+				g.Add(en.Now(), E(hub, v))
+			}
+		}
+	}
+	removeStar := func(hub, keepHub int) {
+		for v := 0; v < n; v++ {
+			if v != hub {
+				e := E(hub, v)
+				// Do not remove edges shared with the star we keep.
+				if e.Has(keepHub) {
+					continue
+				}
+				g.Remove(en.Now(), e)
+			}
+		}
+	}
+	k := 0
+	addStar(hubAt(0))
+	var rotate func()
+	rotate = func() {
+		old := hubAt(k)
+		k++
+		next := hubAt(k)
+		addStar(next)
+		en.ScheduleAfter(c.Overlap, "churn.star.remove", func() {
+			removeStar(old, next)
+		})
+		en.ScheduleAfter(c.Period, "churn.star.rotate", rotate)
+	}
+	en.ScheduleAfter(c.Period, "churn.star.rotate", rotate)
+}
+
+// AlternatingTrees alternates between two spanning structures with
+// overlap: TreeA is present during even phases, TreeB during odd phases,
+// and both during the Overlap at each transition. Any window of length >=
+// Period+Overlap fully contains one tree, so the execution is
+// (Period+Overlap)-interval connected while being minimally connected in
+// between — the worst legal case for the Lemma 6.8 max-propagation bound.
+type AlternatingTrees struct {
+	TreeA, TreeB []Edge
+	Period       float64
+	Overlap      float64
+}
+
+// Install implements Churner. The initial graph should contain TreeA (or
+// be empty; TreeA is added at time 0 if absent).
+func (c AlternatingTrees) Install(en *des.Engine, g *Dynamic) {
+	if c.Period <= 0 || c.Overlap <= 0 {
+		panic("dyngraph: AlternatingTrees needs positive Period and Overlap")
+	}
+	inB := make(map[Edge]bool, len(c.TreeB))
+	for _, e := range c.TreeB {
+		inB[e] = true
+	}
+	inA := make(map[Edge]bool, len(c.TreeA))
+	for _, e := range c.TreeA {
+		inA[e] = true
+	}
+	addAll := func(es []Edge) {
+		for _, e := range es {
+			g.Add(en.Now(), e)
+		}
+	}
+	removeUnless := func(es []Edge, keep map[Edge]bool) {
+		for _, e := range es {
+			if !keep[e] {
+				g.Remove(en.Now(), e)
+			}
+		}
+	}
+	addAll(c.TreeA)
+	phaseA := true
+	var flip func()
+	flip = func() {
+		if phaseA {
+			addAll(c.TreeB)
+			en.ScheduleAfter(c.Overlap, "churn.trees.removeA", func() {
+				removeUnless(c.TreeA, inB)
+			})
+		} else {
+			addAll(c.TreeA)
+			en.ScheduleAfter(c.Overlap, "churn.trees.removeB", func() {
+				removeUnless(c.TreeB, inA)
+			})
+		}
+		phaseA = !phaseA
+		en.ScheduleAfter(c.Period, "churn.trees.flip", flip)
+	}
+	en.ScheduleAfter(c.Period, "churn.trees.flip", flip)
+}
+
+// ScriptedChange is a single scheduled topology event.
+type ScriptedChange struct {
+	At     float64
+	E      Edge
+	Remove bool
+}
+
+// Script replays an explicit list of topology changes; used by the
+// lower-bound scenario (new edges appear at time T1) and by tests.
+type Script struct {
+	Changes []ScriptedChange
+}
+
+// Install implements Churner.
+func (c Script) Install(en *des.Engine, g *Dynamic) {
+	for _, ch := range c.Changes {
+		ch := ch
+		en.Schedule(ch.At, "churn.script", func() {
+			if ch.Remove {
+				g.Remove(en.Now(), ch.E)
+			} else {
+				g.Add(en.Now(), ch.E)
+			}
+		})
+	}
+}

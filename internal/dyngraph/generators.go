@@ -1,0 +1,192 @@
+package dyngraph
+
+import (
+	"fmt"
+
+	"gcs/internal/des"
+)
+
+// Topology generators. Each returns the edge list of a classic static
+// topology; scenarios use them as initial edge sets E_0 or as churn
+// backbones.
+
+// Line returns the path 0-1-2-...-(n-1), the topology of the paper's
+// lower-bound chains and of the gradient-property experiments.
+func Line(n int) []Edge {
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, E(i, i+1))
+	}
+	return edges
+}
+
+// Ring returns the cycle over n nodes (n >= 3).
+func Ring(n int) []Edge {
+	if n < 3 {
+		panic("dyngraph: ring needs n >= 3")
+	}
+	edges := Line(n)
+	return append(edges, E(0, n-1))
+}
+
+// Star returns edges from hub 0 to every other node.
+func Star(n int) []Edge {
+	edges := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, E(0, i))
+	}
+	return edges
+}
+
+// Complete returns all n(n-1)/2 edges.
+func Complete(n int) []Edge {
+	var edges []Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	return edges
+}
+
+// Grid returns a w x h grid graph; node (x, y) has index y*w + x.
+func Grid(w, h int) []Edge {
+	if w < 1 || h < 1 {
+		panic("dyngraph: grid dimensions must be positive")
+	}
+	var edges []Edge
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, E(id(x, y), id(x+1, y)))
+			}
+			if y+1 < h {
+				edges = append(edges, E(id(x, y), id(x, y+1)))
+			}
+		}
+	}
+	return edges
+}
+
+// RandomConnected returns a connected Erdos-Renyi-style graph: a random
+// spanning tree (uniform attachment) plus each remaining potential edge
+// independently with probability p.
+func RandomConnected(n int, p float64, r *des.Rand) []Edge {
+	if n < 1 {
+		panic("dyngraph: n must be positive")
+	}
+	have := map[Edge]bool{}
+	var edges []Edge
+	// Random tree: attach node i to a uniformly random earlier node.
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		e := E(perm[i], perm[r.Intn(i)])
+		have[e] = true
+		edges = append(edges, e)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			e := Edge{U: u, V: v}
+			if !have[e] && r.Bool(p) {
+				have[e] = true
+				edges = append(edges, e)
+			}
+		}
+	}
+	return edges
+}
+
+// TwoChains builds the Theorem 4.1 / Figure 1 network: two parallel
+// chains A and B sharing endpoints w0 = node 0 and wn = node n-1.
+//
+// Chain A consists of nodes 0, A1..A(ceilA), n-1 and chain B of nodes 0,
+// B1..B(ceilB), n-1, where ceilA = floor(n/2)-1 and ceilB = ceil(n/2)-1,
+// giving n nodes total. It returns the edge list plus index helpers: the
+// i-th interior node of chain A is AIndex(i) for i in [1, lenA], and
+// symmetric for B; AIndex(0) = BIndex(0) = 0 and AIndex(lenA+1) =
+// BIndex(lenB+1) = n-1.
+type TwoChains struct {
+	N          int
+	Edges      []Edge
+	lenA, lenB int // number of interior nodes per chain
+}
+
+// NewTwoChains constructs the Figure 1(a) topology over n >= 4 nodes.
+func NewTwoChains(n int) *TwoChains {
+	if n < 4 {
+		panic("dyngraph: two-chains needs n >= 4")
+	}
+	lenA := n/2 - 1     // |I_A| = floor(n/2) - 1
+	lenB := (n+1)/2 - 1 // |I_B| = ceil(n/2) - 1
+	tc := &TwoChains{N: n, lenA: lenA, lenB: lenB}
+	var edges []Edge
+	// Chain A path: 0, A1..AlenA, n-1.
+	prev := 0
+	for i := 1; i <= lenA; i++ {
+		edges = append(edges, E(prev, tc.AIndex(i)))
+		prev = tc.AIndex(i)
+	}
+	edges = append(edges, E(prev, n-1))
+	// Chain B path: 0, B1..BlenB, n-1.
+	prev = 0
+	for i := 1; i <= lenB; i++ {
+		edges = append(edges, E(prev, tc.BIndex(i)))
+		prev = tc.BIndex(i)
+	}
+	edges = append(edges, E(prev, n-1))
+	tc.Edges = edges
+	return tc
+}
+
+// LenA returns the number of interior nodes on chain A.
+func (tc *TwoChains) LenA() int { return tc.lenA }
+
+// LenB returns the number of interior nodes on chain B.
+func (tc *TwoChains) LenB() int { return tc.lenB }
+
+// AIndex maps chain-A position i (0 = w0, lenA+1 = wn) to a node index.
+// Interior A nodes are numbered 1..lenA.
+func (tc *TwoChains) AIndex(i int) int {
+	switch {
+	case i == 0:
+		return 0
+	case i >= 1 && i <= tc.lenA:
+		return i
+	case i == tc.lenA+1:
+		return tc.N - 1
+	}
+	panic(fmt.Sprintf("dyngraph: chain A position %d out of range", i))
+}
+
+// BIndex maps chain-B position i (0 = w0, lenB+1 = wn) to a node index.
+// Interior B nodes are numbered lenA+1..lenA+lenB.
+func (tc *TwoChains) BIndex(i int) int {
+	switch {
+	case i == 0:
+		return 0
+	case i >= 1 && i <= tc.lenB:
+		return tc.lenA + i
+	case i == tc.lenB+1:
+		return tc.N - 1
+	}
+	panic(fmt.Sprintf("dyngraph: chain B position %d out of range", i))
+}
+
+// APath returns the node indices along chain A from w0 to wn.
+func (tc *TwoChains) APath() []int {
+	out := make([]int, 0, tc.lenA+2)
+	for i := 0; i <= tc.lenA+1; i++ {
+		out = append(out, tc.AIndex(i))
+	}
+	return out
+}
+
+// BPath returns the node indices along chain B from w0 to wn.
+func (tc *TwoChains) BPath() []int {
+	out := make([]int, 0, tc.lenB+2)
+	for i := 0; i <= tc.lenB+1; i++ {
+		out = append(out, tc.BIndex(i))
+	}
+	return out
+}

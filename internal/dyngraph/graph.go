@@ -1,0 +1,300 @@
+// Package dyngraph models the paper's dynamic network graph (Section
+// 3.2): a fixed node set V = {0..n-1} over which undirected edges appear
+// and disappear arbitrarily, subject to the T-interval connectivity
+// constraint (Definition 3.1). The package records the full edge history
+// of an execution so that interval connectivity and "edge exists
+// throughout [t1,t2]" queries are exact, and notifies subscribers (the
+// transport layer) of topology events as they happen.
+package dyngraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Edge is an undirected potential edge {U, V} with U < V (an element of
+// the paper's V^(2)).
+type Edge struct {
+	U, V int
+}
+
+// E returns the canonical Edge for the unordered pair {u, v}. It panics
+// if u == v; the model has no self-loops.
+func E(u, v int) Edge {
+	if u == v {
+		panic(fmt.Sprintf("dyngraph: self-loop at node %d", u))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// Other returns the endpoint of e that is not x. It panics if x is not an
+// endpoint.
+func (e Edge) Other(x int) int {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("dyngraph: node %d not an endpoint of %v", x, e))
+}
+
+// Has reports whether x is an endpoint of e.
+func (e Edge) Has(x int) bool { return e.U == x || e.V == x }
+
+func (e Edge) String() string { return fmt.Sprintf("{%d,%d}", e.U, e.V) }
+
+// Interval is a half-open presence interval [Start, End). End is +Inf
+// while the edge is still present. The half-open convention matches the
+// paper's definition of E(t): an edge removed exactly at time t is not in
+// E(t), while an edge added at time t is.
+type Interval struct {
+	Start, End float64
+}
+
+// Contains reports whether t is in [Start, End).
+func (iv Interval) Contains(t float64) bool { return t >= iv.Start && t < iv.End }
+
+// Covers reports whether [t1, t2] is fully inside [Start, End): the edge
+// exists throughout [t1, t2] per the paper (present at t1 and not removed
+// at any point of [t1, t2], inclusive).
+func (iv Interval) Covers(t1, t2 float64) bool { return iv.Start <= t1 && t2 < iv.End }
+
+// Subscriber receives topology change notifications at the instant they
+// occur (the add/remove events of the model, not the delayed discover
+// events — those are the transport layer's job).
+type Subscriber interface {
+	EdgeAdded(t float64, e Edge)
+	EdgeRemoved(t float64, e Edge)
+}
+
+// Dynamic is the evolving graph of one execution. Add and Remove must be
+// called with nondecreasing times (they are driven by simulation events).
+type Dynamic struct {
+	n       int
+	present map[Edge]bool
+	hist    map[Edge][]Interval
+	subs    []Subscriber
+	lastT   float64
+	// counts for reporting
+	adds, removes int
+}
+
+// NewDynamic creates a dynamic graph over n nodes with an initial edge
+// set (the paper's E_0) present from time 0.
+func NewDynamic(n int, initial []Edge) *Dynamic {
+	if n < 1 {
+		panic("dyngraph: need at least one node")
+	}
+	g := &Dynamic{
+		n:       n,
+		present: make(map[Edge]bool),
+		hist:    make(map[Edge][]Interval),
+	}
+	for _, e := range initial {
+		g.check(e)
+		if g.present[e] {
+			continue
+		}
+		g.present[e] = true
+		g.hist[e] = append(g.hist[e], Interval{Start: 0, End: math.Inf(1)})
+	}
+	return g
+}
+
+func (g *Dynamic) check(e Edge) {
+	if e.U < 0 || e.V >= g.n || e.U >= e.V {
+		panic(fmt.Sprintf("dyngraph: invalid edge %v for n=%d", e, g.n))
+	}
+}
+
+// N returns the number of nodes.
+func (g *Dynamic) N() int { return g.n }
+
+// Subscribe registers a topology-event subscriber.
+func (g *Dynamic) Subscribe(s Subscriber) { g.subs = append(g.subs, s) }
+
+// Present reports whether e is currently in the graph.
+func (g *Dynamic) Present(e Edge) bool { return g.present[e] }
+
+// Add inserts edge e at time t. Adding a present edge is a no-op (the
+// model assumes no simultaneous add+remove of the same edge).
+func (g *Dynamic) Add(t float64, e Edge) {
+	g.check(e)
+	g.advance(t)
+	if g.present[e] {
+		return
+	}
+	g.present[e] = true
+	g.hist[e] = append(g.hist[e], Interval{Start: t, End: math.Inf(1)})
+	g.adds++
+	for _, s := range g.subs {
+		s.EdgeAdded(t, e)
+	}
+}
+
+// Remove deletes edge e at time t. Removing an absent edge is a no-op.
+func (g *Dynamic) Remove(t float64, e Edge) {
+	g.check(e)
+	g.advance(t)
+	if !g.present[e] {
+		return
+	}
+	g.present[e] = false
+	ivs := g.hist[e]
+	ivs[len(ivs)-1].End = t
+	g.removes++
+	for _, s := range g.subs {
+		s.EdgeRemoved(t, e)
+	}
+}
+
+func (g *Dynamic) advance(t float64) {
+	if t < g.lastT {
+		panic(fmt.Sprintf("dyngraph: time went backwards: %v < %v", t, g.lastT))
+	}
+	g.lastT = t
+}
+
+// Stats returns the number of add and remove events so far.
+func (g *Dynamic) Stats() (adds, removes int) { return g.adds, g.removes }
+
+// CurrentEdges returns the edges present now, sorted.
+func (g *Dynamic) CurrentEdges() []Edge {
+	var out []Edge
+	for e, p := range g.present {
+		if p {
+			out = append(out, e)
+		}
+	}
+	sortEdges(out)
+	return out
+}
+
+// ExistsAt reports whether e is in E(t) according to the recorded
+// history.
+func (g *Dynamic) ExistsAt(e Edge, t float64) bool {
+	for _, iv := range g.hist[e] {
+		if iv.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExistsThroughout reports whether e exists throughout [t1, t2] in the
+// paper's sense.
+func (g *Dynamic) ExistsThroughout(e Edge, t1, t2 float64) bool {
+	for _, iv := range g.hist[e] {
+		if iv.Covers(t1, t2) {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgesAt returns E(t), sorted.
+func (g *Dynamic) EdgesAt(t float64) []Edge {
+	var out []Edge
+	for e, ivs := range g.hist {
+		for _, iv := range ivs {
+			if iv.Contains(t) {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	sortEdges(out)
+	return out
+}
+
+// EdgesThroughout returns the set E|[t1,t2] of edges existing throughout
+// the interval, sorted. This is the edge set of the paper's static
+// subgraph G[t1,t2].
+func (g *Dynamic) EdgesThroughout(t1, t2 float64) []Edge {
+	var out []Edge
+	for e, ivs := range g.hist {
+		for _, iv := range ivs {
+			if iv.Covers(t1, t2) {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	sortEdges(out)
+	return out
+}
+
+// IntervalConnected reports whether G[t1,t2] is connected.
+func (g *Dynamic) IntervalConnected(t1, t2 float64) bool {
+	return Connected(g.n, g.EdgesThroughout(t1, t2))
+}
+
+// EventTimes returns the sorted distinct times at which any edge was
+// added or removed (excluding time 0 initial edges).
+func (g *Dynamic) EventTimes() []float64 {
+	seen := map[float64]bool{}
+	for _, ivs := range g.hist {
+		for _, iv := range ivs {
+			if iv.Start > 0 {
+				seen[iv.Start] = true
+			}
+			if !math.IsInf(iv.End, 1) {
+				seen[iv.End] = true
+			}
+		}
+	}
+	out := make([]float64, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// VerifyIntervalConnectivity checks Definition 3.1 exactly over [0,
+// horizon]: for every window [t, t+T] with t in [0, horizon-T], the
+// static subgraph G[t,t+T] is connected. Because E|[t,t+T] only changes
+// when t crosses an event time (or t+T does), it suffices to test window
+// starts at 0 and at every event time s and s-T within range. Returns the
+// first violating window start, or (0, true) if the property holds.
+func (g *Dynamic) VerifyIntervalConnectivity(T, horizon float64) (float64, bool) {
+	if T <= 0 {
+		panic("dyngraph: T must be positive")
+	}
+	starts := map[float64]bool{0: true}
+	for _, s := range g.EventTimes() {
+		for _, cand := range []float64{s, s - T} {
+			if cand >= 0 && cand+T <= horizon {
+				starts[cand] = true
+			}
+		}
+	}
+	sorted := make([]float64, 0, len(starts))
+	for s := range starts {
+		sorted = append(sorted, s)
+	}
+	sort.Float64s(sorted)
+	for _, s := range sorted {
+		if s+T > horizon {
+			continue
+		}
+		if !g.IntervalConnected(s, s+T) {
+			return s, false
+		}
+	}
+	return 0, true
+}
+
+func sortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+}

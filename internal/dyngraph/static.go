@@ -1,0 +1,153 @@
+package dyngraph
+
+// Static-graph utilities used for connectivity checks, distances (the
+// paper's dist(u,v)), and the lower bound's flexible distance.
+
+// Adjacency builds adjacency lists for the static graph (n, edges).
+func Adjacency(n int, edges []Edge) [][]int {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	return adj
+}
+
+// Connected reports whether the static graph (n, edges) is connected.
+// The empty graph over one node is connected.
+func Connected(n int, edges []Edge) bool {
+	if n <= 1 {
+		return true
+	}
+	adj := Adjacency(n, edges)
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == n
+}
+
+// Distances returns BFS hop distances from src in the static graph;
+// unreachable nodes get -1. This is the paper's dist(src, v).
+func Distances(n int, edges []Edge, src int) []int {
+	adj := Adjacency(n, edges)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the maximum finite pairwise distance of the static
+// graph, or -1 if the graph is disconnected.
+func Diameter(n int, edges []Edge) int {
+	diam := 0
+	for s := 0; s < n; s++ {
+		d := Distances(n, edges, s)
+		for _, x := range d {
+			if x < 0 {
+				return -1
+			}
+			if x > diam {
+				diam = x
+			}
+		}
+	}
+	return diam
+}
+
+// FlexibleDistances returns, for every node v, the minimum number of
+// *unconstrained* edges on any path from src to v — the paper's
+// dist_M(src, v) for a delay mask whose constrained edge set is
+// `constrained` (Definition 4.3). Constrained edges cost 0, unconstrained
+// edges cost 1; this is a 0/1-BFS. Unreachable nodes get -1.
+func FlexibleDistances(n int, edges []Edge, constrained map[Edge]bool, src int) []int {
+	type arc struct {
+		to   int
+		cost int
+	}
+	adj := make([][]arc, n)
+	for _, e := range edges {
+		c := 1
+		if constrained[e] {
+			c = 0
+		}
+		adj[e.U] = append(adj[e.U], arc{e.V, c})
+		adj[e.V] = append(adj[e.V], arc{e.U, c})
+	}
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	// 0/1 BFS with a deque.
+	deque := make([]int, 0, n)
+	dist[src] = 0
+	deque = append(deque, src)
+	for len(deque) > 0 {
+		u := deque[0]
+		deque = deque[1:]
+		for _, a := range adj[u] {
+			nd := dist[u] + a.cost
+			if dist[a.to] == -1 || nd < dist[a.to] {
+				dist[a.to] = nd
+				if a.cost == 0 {
+					deque = append([]int{a.to}, deque...)
+				} else {
+					deque = append(deque, a.to)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// SpanningTree returns the edges of a BFS spanning tree rooted at src, or
+// nil if the graph is disconnected.
+func SpanningTree(n int, edges []Edge, src int) []Edge {
+	adj := Adjacency(n, edges)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = src
+	queue := []int{src}
+	var tree []Edge
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if parent[v] < 0 {
+				parent[v] = u
+				tree = append(tree, E(u, v))
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(tree) != n-1 && n > 1 {
+		return nil
+	}
+	return tree
+}
