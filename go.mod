@@ -1,0 +1,3 @@
+module gcs
+
+go 1.24

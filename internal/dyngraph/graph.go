@@ -78,8 +78,11 @@ type Dynamic struct {
 	n       int
 	present map[Edge]bool
 	hist    map[Edge][]Interval
-	subs    []Subscriber
-	lastT   float64
+	// adj mirrors present as per-node adjacency sets so that Neighbors
+	// and Degree cost O(deg) instead of scanning every edge ever seen.
+	adj   []map[int]struct{}
+	subs  []Subscriber
+	lastT float64
 	// counts for reporting
 	adds, removes int
 }
@@ -94,6 +97,10 @@ func NewDynamic(n int, initial []Edge) *Dynamic {
 		n:       n,
 		present: make(map[Edge]bool),
 		hist:    make(map[Edge][]Interval),
+		adj:     make([]map[int]struct{}, n),
+	}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]struct{})
 	}
 	for _, e := range initial {
 		g.check(e)
@@ -101,6 +108,8 @@ func NewDynamic(n int, initial []Edge) *Dynamic {
 			continue
 		}
 		g.present[e] = true
+		g.adj[e.U][e.V] = struct{}{}
+		g.adj[e.V][e.U] = struct{}{}
 		g.hist[e] = append(g.hist[e], Interval{Start: 0, End: math.Inf(1)})
 	}
 	return g
@@ -130,6 +139,8 @@ func (g *Dynamic) Add(t float64, e Edge) {
 		return
 	}
 	g.present[e] = true
+	g.adj[e.U][e.V] = struct{}{}
+	g.adj[e.V][e.U] = struct{}{}
 	g.hist[e] = append(g.hist[e], Interval{Start: t, End: math.Inf(1)})
 	g.adds++
 	for _, s := range g.subs {
@@ -144,7 +155,11 @@ func (g *Dynamic) Remove(t float64, e Edge) {
 	if !g.present[e] {
 		return
 	}
-	g.present[e] = false
+	// Delete rather than set false: under heavy churn the presence map
+	// would otherwise grow with every edge ever seen.
+	delete(g.present, e)
+	delete(g.adj[e.U], e.V)
+	delete(g.adj[e.V], e.U)
 	ivs := g.hist[e]
 	ivs[len(ivs)-1].End = t
 	g.removes++
@@ -163,13 +178,37 @@ func (g *Dynamic) advance(t float64) {
 // Stats returns the number of add and remove events so far.
 func (g *Dynamic) Stats() (adds, removes int) { return g.adds, g.removes }
 
-// CurrentEdges returns the edges present now, sorted.
+// Neighbors returns the nodes currently adjacent to u, sorted ascending.
+// The sorted order makes broadcast fan-out deterministic.
+func (g *Dynamic) Neighbors(u int) []int {
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Degree returns the number of edges currently incident to u.
+func (g *Dynamic) Degree(u int) int { return len(g.adj[u]) }
+
+// AppendNeighbors appends the nodes currently adjacent to u to buf, in
+// unspecified order, and returns the extended slice. Callers on hot
+// paths reuse buf across calls to avoid allocating; use Neighbors when
+// a deterministic order is needed.
+func (g *Dynamic) AppendNeighbors(u int, buf []int) []int {
+	for v := range g.adj[u] {
+		buf = append(buf, v)
+	}
+	return buf
+}
+
+// CurrentEdges returns the edges present now, sorted. Remove deletes
+// presence entries, so every key in the map is a present edge.
 func (g *Dynamic) CurrentEdges() []Edge {
-	var out []Edge
-	for e, p := range g.present {
-		if p {
-			out = append(out, e)
-		}
+	out := make([]Edge, 0, len(g.present))
+	for e := range g.present {
+		out = append(out, e)
 	}
 	sortEdges(out)
 	return out

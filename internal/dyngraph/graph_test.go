@@ -1,0 +1,66 @@
+package dyngraph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNeighborsTrackAddsAndRemoves(t *testing.T) {
+	g := NewDynamic(5, []Edge{E(0, 2), E(0, 1)})
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("Neighbors(0) = %v, want [1 2]", got)
+	}
+	g.Add(1, E(0, 4))
+	g.Add(1, E(3, 4))
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, []int{1, 2, 4}) {
+		t.Fatalf("Neighbors(0) after add = %v, want [1 2 4]", got)
+	}
+	if got := g.Degree(0); got != 3 {
+		t.Fatalf("Degree(0) = %d, want 3", got)
+	}
+	g.Remove(2, E(0, 2))
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, []int{1, 4}) {
+		t.Fatalf("Neighbors(0) after remove = %v, want [1 4]", got)
+	}
+	if got := g.Degree(2); got != 0 {
+		t.Fatalf("Degree(2) = %d, want 0", got)
+	}
+	// Re-adding the removed edge restores adjacency.
+	g.Add(3, E(0, 2))
+	if got := g.Neighbors(2); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Neighbors(2) after re-add = %v, want [0]", got)
+	}
+}
+
+func TestHistorySurvivesPresenceDeletion(t *testing.T) {
+	// Remove deletes the presence entry; the interval history must still
+	// answer ExistsAt/ExistsThroughout for the past.
+	g := NewDynamic(3, []Edge{E(0, 1)})
+	g.Remove(5, E(0, 1))
+	if g.Present(E(0, 1)) {
+		t.Fatal("edge still present after removal")
+	}
+	if !g.ExistsAt(E(0, 1), 3) {
+		t.Fatal("history lost: edge existed at t=3")
+	}
+	if g.ExistsAt(E(0, 1), 5) {
+		t.Fatal("half-open interval violated: edge removed at t=5 is not in E(5)")
+	}
+	if !g.ExistsThroughout(E(0, 1), 0, 4) {
+		t.Fatal("edge existed throughout [0,4]")
+	}
+	adds, removes := g.Stats()
+	if adds != 0 || removes != 1 {
+		t.Fatalf("stats = (%d, %d), want (0, 1)", adds, removes)
+	}
+}
+
+func TestCurrentEdgesAfterChurn(t *testing.T) {
+	g := NewDynamic(4, Line(4))
+	g.Remove(1, E(1, 2))
+	g.Add(2, E(0, 3))
+	want := []Edge{{0, 1}, {0, 3}, {2, 3}}
+	if got := g.CurrentEdges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("CurrentEdges = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,296 @@
+// Package gcs implements the gradient clock synchronization node of
+// Kuhn, Locher, Oshman, "Gradient Clock Synchronization in Dynamic
+// Networks" (SPAA 2009). Each node owns a drifting hardware clock and
+// maintains a logical clock L_u that
+//
+//   - never decreases and always increases at least at the hardware rate,
+//   - periodically broadcasts its value to the current neighbors
+//     (a subjective beacon every BeaconEvery units of hardware time),
+//   - jumps forward to the largest remote clock estimate when that
+//     estimate exceeds L_u by more than JumpThreshold (with threshold 0
+//     this is the max-propagation rule that yields the global skew bound
+//     of O(maxDelay * D) per propagation hop), and
+//   - runs at the fast rate (1+Mu) times the hardware rate while some
+//     current neighbor is ahead by more than Kappa, so large local skew
+//     is caught up at the fast rate — the gradient property's catch-up
+//     rule (the paper's Section 5 algorithm uses the same two-regime
+//     structure).
+//
+// Remote estimates are aged conservatively at (1-rho)/(1+rho) times the
+// local hardware rate: the source's logical clock is guaranteed to have
+// advanced at least that much, so estimates are always lower bounds on
+// the source's current value and a jump can never overshoot the true
+// network maximum.
+package gcs
+
+import (
+	"fmt"
+	"math"
+
+	"gcs/internal/clock"
+)
+
+// Params configures one node's algorithm.
+type Params struct {
+	// Rho is the hardware clock drift bound: rates stay in [1-Rho, 1+Rho].
+	Rho float64
+	// MaxDelay is the transport's delay bound; used only for documentation
+	// and for derived defaults.
+	MaxDelay float64
+	// BeaconEvery is the hardware-time interval between beacons.
+	BeaconEvery float64
+	// Kappa is the local-skew threshold: a current neighbor estimated
+	// ahead by more than Kappa puts the node into fast mode.
+	Kappa float64
+	// Mu is the fast-rate boost: in fast mode the logical clock runs at
+	// (1+Mu) times the hardware rate. Catch-up converges when
+	// (1+Mu)(1-Rho) > 1+Rho, i.e. Mu > 2*Rho/(1-Rho).
+	Mu float64
+	// JumpThreshold is how far the global max estimate must exceed L_u
+	// before the node jumps to it. 0 gives the pure max-propagation rule;
+	// math.Inf(1) disables jumps entirely so all catch-up happens at the
+	// fast rate.
+	JumpThreshold float64
+}
+
+// WithDefaults fills unset fields with reasonable values.
+func (p Params) WithDefaults() Params {
+	if p.Rho == 0 {
+		p.Rho = 0.01
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 0.01
+	}
+	if p.BeaconEvery == 0 {
+		p.BeaconEvery = 0.1
+	}
+	if p.Kappa == 0 {
+		p.Kappa = 4 * (p.MaxDelay + p.BeaconEvery)
+	}
+	if p.Mu == 0 {
+		p.Mu = 1
+	}
+	return p
+}
+
+func (p Params) validate() {
+	if p.Rho < 0 || p.Rho >= 1 {
+		panic(fmt.Sprintf("gcs: rho %v outside [0, 1)", p.Rho))
+	}
+	if p.BeaconEvery <= 0 {
+		panic("gcs: BeaconEvery must be positive")
+	}
+	if p.Kappa <= 0 {
+		panic("gcs: Kappa must be positive (a zero threshold would Zeno the catch-up loop)")
+	}
+	if p.Mu < 0 || p.JumpThreshold < 0 {
+		panic("gcs: negative Mu or JumpThreshold")
+	}
+}
+
+// estimate is the largest value heard from one source, stored normalized
+// to local hardware time zero: the aged value at local reading h is
+// norm + ageFactor*h. Normalizing makes the aged ordering of estimates
+// time-invariant, so the global maximum is maintainable in O(1).
+type estimate struct {
+	norm float64
+}
+
+// Snapshot is a point-in-time view of one node's state, for assertions.
+type Snapshot struct {
+	ID          int
+	Hardware    float64
+	Logical     float64
+	MaxEstimate float64 // -Inf if nothing heard yet
+	Messages    int
+	Jumps       int
+	Beacons     int
+	Fast        bool
+}
+
+// Node is one synchronization participant. It is single-threaded, owned
+// by its clock's engine.
+type Node struct {
+	id int
+	hw *clock.HardwareClock
+	p  Params
+
+	// broadcast sends the node's logical value to all current neighbors
+	// and returns the number of messages sent.
+	broadcast func(value float64) int
+	// neighbors appends the node's current neighbors to buf (any order;
+	// the fast-mode scan is order-independent). nbuf is the reused
+	// scratch buffer so the per-message path does not allocate.
+	neighbors func(buf []int) []int
+	nbuf      []int
+
+	// Logical clock as a line in hardware time:
+	// L(h) = baseL + mult*(h - baseH), rebased at every regime change.
+	baseH, baseL, mult float64
+
+	est map[int]estimate
+	// maxNorm is the running maximum of est[*].norm (-Inf when empty);
+	// per-source norms only ever increase, so it never needs a rescan.
+	maxNorm float64
+	catchup *clock.Timer
+
+	msgs, jumps, beacons int
+	fast                 bool
+}
+
+// New creates a node. broadcast and neighbors wire it to the transport
+// and graph without an import dependency; either may be nil for isolated
+// unit tests (treated as no neighbors, no sends).
+func New(id int, hw *clock.HardwareClock, p Params,
+	broadcast func(value float64) int, neighbors func(buf []int) []int) *Node {
+	p = p.WithDefaults()
+	p.validate()
+	if broadcast == nil {
+		broadcast = func(float64) int { return 0 }
+	}
+	if neighbors == nil {
+		neighbors = func(buf []int) []int { return buf }
+	}
+	return &Node{
+		id:        id,
+		hw:        hw,
+		p:         p,
+		broadcast: broadcast,
+		neighbors: neighbors,
+		baseH:     hw.Now(),
+		baseL:     hw.Now(),
+		mult:      1,
+		est:       make(map[int]estimate),
+		maxNorm:   math.Inf(-1),
+	}
+}
+
+// ID returns the node's identifier.
+func (nd *Node) ID() int { return nd.id }
+
+// HW returns the node's hardware clock.
+func (nd *Node) HW() *clock.HardwareClock { return nd.hw }
+
+// Start installs the beacon loop. phase is the hardware-time offset of
+// the first beacon (stagger nodes to avoid synchronized bursts); it must
+// be nonnegative.
+func (nd *Node) Start(phase float64) {
+	if phase < 0 {
+		panic("gcs: negative beacon phase")
+	}
+	var tick func()
+	tick = func() {
+		nd.emit()
+		nd.hw.SetTimer(nd.p.BeaconEvery, "gcs.beacon", tick)
+	}
+	nd.hw.SetTimer(phase, "gcs.beacon", tick)
+}
+
+// Logical returns L_u at the engine's current time.
+func (nd *Node) Logical() float64 {
+	return nd.logicalAt(nd.hw.Now())
+}
+
+func (nd *Node) logicalAt(h float64) float64 {
+	return nd.baseL + nd.mult*(h-nd.baseH)
+}
+
+// ageFactor is the guaranteed minimum progress of any remote logical
+// clock per unit of local hardware time: the remote hardware runs at
+// >= (1-rho) real rate and the local one at <= (1+rho).
+func (nd *Node) ageFactor() float64 {
+	return (1 - nd.p.Rho) / (1 + nd.p.Rho)
+}
+
+func (nd *Node) agedEstimate(e estimate, h float64) float64 {
+	return e.norm + nd.ageFactor()*h
+}
+
+// OnMessage ingests a beacon carrying the sender's logical value and
+// re-evaluates the jump and fast-mode rules.
+func (nd *Node) OnMessage(from int, value float64) {
+	h := nd.hw.Now()
+	nd.msgs++
+	norm := value - nd.ageFactor()*h
+	if e, ok := nd.est[from]; !ok || norm > e.norm {
+		nd.est[from] = estimate{norm: norm}
+		if norm > nd.maxNorm {
+			nd.maxNorm = norm
+		}
+	}
+	nd.recompute()
+}
+
+// emit broadcasts the node's logical value after refreshing its regime.
+func (nd *Node) emit() {
+	nd.recompute()
+	nd.beacons++
+	nd.broadcast(nd.Logical())
+}
+
+// recompute rebases the logical clock at the current instant, applies the
+// jump rule against the global max estimate, and selects the rate regime
+// from the current neighbors' estimates.
+func (nd *Node) recompute() {
+	h := nd.hw.Now()
+	L := nd.logicalAt(h)
+
+	maxEst := nd.maxNorm + nd.ageFactor()*h
+	if maxEst-L > nd.p.JumpThreshold {
+		L = maxEst
+		nd.jumps++
+	}
+
+	// Fast mode: some current neighbor is estimated ahead by more than
+	// Kappa. target is the largest such estimate; the catch-up timer
+	// re-evaluates exactly when L reaches it.
+	fast := false
+	target := math.Inf(-1)
+	nd.nbuf = nd.neighbors(nd.nbuf[:0])
+	for _, v := range nd.nbuf {
+		e, ok := nd.est[v]
+		if !ok {
+			continue
+		}
+		if est := nd.agedEstimate(e, h); est-L > nd.p.Kappa {
+			fast = true
+			if est > target {
+				target = est
+			}
+		}
+	}
+
+	nd.baseH, nd.baseL = h, L
+	nd.fast = fast
+	if fast {
+		nd.mult = 1 + nd.p.Mu
+	} else {
+		nd.mult = 1
+	}
+
+	nd.hw.CancelTimer(nd.catchup)
+	nd.catchup = nil
+	if fast {
+		// L reaches target after (target-L)/mult hardware time; the
+		// estimate will have aged less than that (ageFactor < 1 <= mult),
+		// so each round shrinks the gap geometrically until it is <= Kappa.
+		dH := (target - L) / nd.mult
+		nd.catchup = nd.hw.SetTimer(dH, "gcs.catchup", nd.recompute)
+	}
+}
+
+// Snap returns a snapshot of the node's state at the current time.
+func (nd *Node) Snap() Snapshot {
+	h := nd.hw.Now()
+	maxEst := nd.maxNorm + nd.ageFactor()*h
+	return Snapshot{
+		ID:          nd.id,
+		Hardware:    h,
+		Logical:     nd.logicalAt(h),
+		MaxEstimate: maxEst,
+		Messages:    nd.msgs,
+		Jumps:       nd.jumps,
+		Beacons:     nd.beacons,
+		Fast:        nd.fast,
+	}
+}

@@ -1,0 +1,25 @@
+package sim
+
+import "testing"
+
+// BenchmarkRing256 seeds the performance trajectory: one full 256-node
+// ring simulation per iteration, including wiring, beacon traffic, and
+// skew sampling. Future PRs optimize against this number.
+func BenchmarkRing256(b *testing.B) {
+	cfg := Config{
+		N:        256,
+		Seed:     1,
+		Horizon:  10,
+		Rho:      0.01,
+		MaxDelay: 0.01,
+		Topology: TopologySpec{Kind: TopoRing},
+		Driver:   DriverSpec{Kind: DriveRandomWalk, Interval: 1},
+	}
+	b.ReportAllocs()
+	for b.Loop() {
+		rpt := Run(cfg)
+		if rpt.MaxGlobalSkew > rpt.Bound {
+			b.Fatalf("skew %v exceeded bound %v", rpt.MaxGlobalSkew, rpt.Bound)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package sim is the scenario harness: it wires engine, dynamic graph,
+// churner, per-node clock drivers, bounded-delay transport, and n GCS
+// nodes from a declarative Config, runs the execution to a horizon, and
+// reports skew and traffic statistics. Every future scaling or
+// lower-bound experiment drives a simulation through this package.
+package sim
+
+import (
+	"fmt"
+
+	"gcs/internal/clock"
+	"gcs/internal/des"
+	"gcs/internal/dyngraph"
+	"gcs/internal/gcs"
+)
+
+// TopologyKind selects the initial (backbone) edge set.
+type TopologyKind int
+
+const (
+	TopoLine TopologyKind = iota
+	TopoRing
+	TopoStar
+	TopoGrid
+	TopoComplete
+)
+
+func (k TopologyKind) String() string {
+	switch k {
+	case TopoLine:
+		return "Line"
+	case TopoRing:
+		return "Ring"
+	case TopoStar:
+		return "Star"
+	case TopoGrid:
+		return "Grid"
+	case TopoComplete:
+		return "Complete"
+	}
+	return fmt.Sprintf("TopologyKind(%d)", int(k))
+}
+
+// TopologySpec is a declarative topology choice. W and H apply to
+// TopoGrid only and must satisfy W*H == n.
+type TopologySpec struct {
+	Kind TopologyKind
+	W, H int
+}
+
+// Edges materializes the topology over n nodes.
+func (s TopologySpec) Edges(n int) []dyngraph.Edge {
+	switch s.Kind {
+	case TopoLine:
+		return dyngraph.Line(n)
+	case TopoRing:
+		return dyngraph.Ring(n)
+	case TopoStar:
+		return dyngraph.Star(n)
+	case TopoGrid:
+		if s.W*s.H != n {
+			panic(fmt.Sprintf("sim: grid %dx%d does not cover %d nodes", s.W, s.H, n))
+		}
+		return dyngraph.Grid(s.W, s.H)
+	case TopoComplete:
+		return dyngraph.Complete(n)
+	}
+	panic(fmt.Sprintf("sim: unknown topology kind %d", s.Kind))
+}
+
+// DriverKind selects the hardware-clock rate process.
+type DriverKind int
+
+const (
+	DriveConstant DriverKind = iota
+	DriveRandomWalk
+	DriveBangBang
+)
+
+func (k DriverKind) String() string {
+	switch k {
+	case DriveConstant:
+		return "Constant"
+	case DriveRandomWalk:
+		return "RandomWalk"
+	case DriveBangBang:
+		return "BangBang"
+	}
+	return fmt.Sprintf("DriverKind(%d)", int(k))
+}
+
+// DriverSpec is a declarative per-node clock driver choice. The same
+// spec instantiates one driver per node: RandomWalk forks an independent
+// stream per node, BangBang anti-phases odd and even nodes (the worst
+// benign pattern for adjacent skew).
+type DriverSpec struct {
+	Kind DriverKind
+	// Interval is the rate-change period (RandomWalk, BangBang).
+	Interval float64
+}
+
+func (s DriverSpec) build(node int, rho float64, r *des.Rand) clock.Driver {
+	switch s.Kind {
+	case DriveConstant:
+		return clock.ConstantRate{Rate: 1}
+	case DriveRandomWalk:
+		return clock.RandomWalk{Rho: rho, Interval: s.Interval, Rand: r.Fork(uint64(node))}
+	case DriveBangBang:
+		return clock.BangBang{Rho: rho, Interval: s.Interval, StartHigh: node%2 == 0}
+	}
+	panic(fmt.Sprintf("sim: unknown driver kind %d", s.Kind))
+}
+
+// ChurnKind selects the topology-change process.
+type ChurnKind int
+
+const (
+	// ChurnNone keeps the initial topology static.
+	ChurnNone ChurnKind = iota
+	// ChurnVolatile keeps the topology as a static backbone and churns
+	// ExtraEdges additional random candidate edges around it.
+	ChurnVolatile
+	// ChurnRotatingStar ignores the topology spec and cycles complete
+	// stars with rotating hubs (the maximally dynamic pattern); the
+	// execution is Period-interval connected.
+	ChurnRotatingStar
+)
+
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnNone:
+		return "None"
+	case ChurnVolatile:
+		return "Volatile"
+	case ChurnRotatingStar:
+		return "RotatingStar"
+	}
+	return fmt.Sprintf("ChurnKind(%d)", int(k))
+}
+
+// ChurnSpec is a declarative churn choice.
+type ChurnSpec struct {
+	Kind ChurnKind
+	// Period and Overlap drive ChurnRotatingStar.
+	Period, Overlap float64
+	// Lifetime, Absence, and ExtraEdges drive ChurnVolatile.
+	Lifetime, Absence float64
+	ExtraEdges        int
+}
+
+// T returns the interval-connectivity parameter contributed by the churn
+// process: the longest wait before a propagation path is guaranteed.
+func (s ChurnSpec) T() float64 {
+	if s.Kind == ChurnRotatingStar {
+		return s.Period
+	}
+	return 0
+}
+
+// Config declares one complete scenario. The zero value of every field
+// except N is usable; WithDefaults fills the rest.
+type Config struct {
+	N       int
+	Seed    uint64
+	Horizon float64
+	// Rho bounds hardware clock drift; MaxDelay bounds message delay.
+	Rho      float64
+	MaxDelay float64
+
+	Topology TopologySpec
+	Driver   DriverSpec
+	Churn    ChurnSpec
+	// Node carries the algorithm parameters; Rho and MaxDelay are
+	// overridden from the Config so the scenario stays consistent.
+	Node gcs.Params
+
+	// SampleEvery is the real-time period of skew sampling.
+	SampleEvery float64
+}
+
+// WithDefaults returns the config with unset fields filled in.
+func (c Config) WithDefaults() Config {
+	if c.N <= 0 {
+		panic("sim: Config.N must be positive")
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 10
+	}
+	if c.Rho == 0 {
+		c.Rho = 0.01
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 0.01
+	}
+	if c.Driver.Interval == 0 {
+		c.Driver.Interval = 1
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 0.1
+	}
+	c.Node.Rho = c.Rho
+	c.Node.MaxDelay = c.MaxDelay
+	c.Node = c.Node.WithDefaults()
+	return c
+}
+
+// GlobalSkewBound returns the analytic worst-case global skew for the
+// scenario. The max-propagation argument: a value held anywhere reaches
+// any node after at most one beacon interval plus one message delay per
+// hop (a "hop window"), and the network maximum grows at real rate at
+// most 1+rho, so the skew is bounded by (1+rho) times the total
+// propagation time. For static and backbone scenarios the hop count is
+// the backbone diameter; for the rotating star it is 2 (leaf -> hub ->
+// leaf) plus up to two star periods of slack for beacons lost to star
+// teardowns mid-flight. A positive JumpThreshold adds its value per hop.
+func (c Config) GlobalSkewBound() float64 {
+	c = c.WithDefaults()
+	beaconReal := c.Node.BeaconEvery / (1 - c.Rho)
+	hop := beaconReal + c.MaxDelay + c.Node.JumpThreshold
+	var hops float64
+	slack := 2 * c.Churn.T()
+	if c.Churn.Kind == ChurnRotatingStar {
+		hops = 2
+	} else {
+		d := dyngraph.Diameter(c.N, c.Topology.Edges(c.N))
+		if d < 0 {
+			panic("sim: disconnected backbone topology")
+		}
+		hops = float64(d)
+	}
+	return (1 + c.Rho) * (hops*hop + slack)
+}

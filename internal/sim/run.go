@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"math"
+
+	"gcs/internal/clock"
+	"gcs/internal/des"
+	"gcs/internal/dyngraph"
+	"gcs/internal/gcs"
+	"gcs/internal/transport"
+)
+
+// SkewReport summarizes one execution. All fields are deterministic
+// functions of the Config (including Seed), which the determinism
+// regression test relies on.
+type SkewReport struct {
+	// MaxGlobalSkew is the largest max-minus-min logical clock spread
+	// observed at any sample point.
+	MaxGlobalSkew float64
+	// MaxAdjacentSkew is the largest |L_u - L_v| observed over any edge
+	// present at a sample point (the gradient/local skew).
+	MaxAdjacentSkew float64
+	// FinalGlobalSkew is the spread at the horizon.
+	FinalGlobalSkew float64
+	// Bound is the scenario's analytic global skew bound.
+	Bound float64
+	// Samples counts skew observations (including t=0 and the horizon).
+	Samples int
+
+	Transport transport.Stats
+	// EventsExecuted is the DES kernel's fired-event count.
+	EventsExecuted uint64
+	EdgeAdds       int
+	EdgeRemoves    int
+
+	// MinRateSeen/MaxRateSeen aggregate hardware rates across all nodes,
+	// for validating the [1-rho, 1+rho] drift bound.
+	MinRateSeen float64
+	MaxRateSeen float64
+
+	TotalJumps    int
+	TotalMessages int
+	TotalBeacons  int
+}
+
+// Simulation is one fully wired scenario, exposed so tests can inspect
+// mid-run state; most callers use Run.
+type Simulation struct {
+	Cfg    Config
+	Engine *des.Engine
+	Graph  *dyngraph.Dynamic
+	Net    *transport.Network
+	Clocks []*clock.HardwareClock
+	Nodes  []*gcs.Node
+
+	report      SkewReport
+	lastSampleT float64
+}
+
+// New wires a simulation from the config without running it.
+func New(cfg Config) *Simulation {
+	cfg = cfg.WithDefaults()
+	en := des.NewEngine()
+	root := des.NewRand(cfg.Seed)
+
+	var initial []dyngraph.Edge
+	if cfg.Churn.Kind != ChurnRotatingStar {
+		initial = cfg.Topology.Edges(cfg.N)
+	}
+	g := dyngraph.NewDynamic(cfg.N, initial)
+	net := transport.New(en, g,
+		transport.UniformDelay(cfg.MaxDelay, root.Fork(0xde1a9)), cfg.MaxDelay)
+
+	s := &Simulation{
+		Cfg:    cfg,
+		Engine: en,
+		Graph:  g,
+		Net:    net,
+		Clocks: make([]*clock.HardwareClock, cfg.N),
+		Nodes:  make([]*gcs.Node, cfg.N),
+	}
+
+	driveRand := root.Fork(0xd81fe)
+	for i := 0; i < cfg.N; i++ {
+		i := i
+		hw := clock.New(en, 1)
+		s.Clocks[i] = hw
+		s.Nodes[i] = gcs.New(i, hw, cfg.Node,
+			func(v float64) int { return net.Broadcast(i, v) },
+			func(buf []int) []int { return g.AppendNeighbors(i, buf) })
+		net.SetHandler(i, func(m transport.Message) {
+			s.Nodes[m.To].OnMessage(m.From, m.Payload.(float64))
+		})
+		cfg.Driver.build(i, cfg.Rho, driveRand).Install(en, hw)
+	}
+
+	if ch := s.churner(root); ch != nil {
+		ch.Install(en, g)
+	}
+
+	phaseRand := root.Fork(0x9a5e)
+	for i := 0; i < cfg.N; i++ {
+		s.Nodes[i].Start(phaseRand.Range(0, cfg.Node.BeaconEvery))
+	}
+	return s
+}
+
+func (s *Simulation) churner(root *des.Rand) dyngraph.Churner {
+	cfg := s.Cfg
+	switch cfg.Churn.Kind {
+	case ChurnNone:
+		return nil
+	case ChurnVolatile:
+		return dyngraph.VolatileEdges{
+			Candidates: s.volatileCandidates(root.Fork(0xca9d)),
+			Lifetime:   cfg.Churn.Lifetime,
+			Absence:    cfg.Churn.Absence,
+			Rand:       root.Fork(0xc400),
+		}
+	case ChurnRotatingStar:
+		return dyngraph.RotatingStar{
+			Period:  cfg.Churn.Period,
+			Overlap: cfg.Churn.Overlap,
+		}
+	}
+	panic("sim: unknown churn kind")
+}
+
+// volatileCandidates draws ExtraEdges distinct random edges that are not
+// part of the static backbone.
+func (s *Simulation) volatileCandidates(r *des.Rand) []dyngraph.Edge {
+	backbone := map[dyngraph.Edge]bool{}
+	for _, e := range s.Cfg.Topology.Edges(s.Cfg.N) {
+		backbone[e] = true
+	}
+	seen := map[dyngraph.Edge]bool{}
+	var out []dyngraph.Edge
+	for attempts := 0; len(out) < s.Cfg.Churn.ExtraEdges && attempts < 100*s.Cfg.Churn.ExtraEdges+100; attempts++ {
+		u := r.Intn(s.Cfg.N)
+		v := r.Intn(s.Cfg.N)
+		if u == v {
+			continue
+		}
+		e := dyngraph.E(u, v)
+		if backbone[e] || seen[e] {
+			continue
+		}
+		seen[e] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// observe records one skew sample at the engine's current time.
+func (s *Simulation) observe() {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	vals := make([]float64, s.Cfg.N)
+	for i, nd := range s.Nodes {
+		l := nd.Logical()
+		vals[i] = l
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	if spread := hi - lo; spread > s.report.MaxGlobalSkew {
+		s.report.MaxGlobalSkew = spread
+	}
+	for _, e := range s.Graph.CurrentEdges() {
+		if d := math.Abs(vals[e.U] - vals[e.V]); d > s.report.MaxAdjacentSkew {
+			s.report.MaxAdjacentSkew = d
+		}
+	}
+	s.report.FinalGlobalSkew = hi - lo
+	s.report.Samples++
+	s.lastSampleT = s.Engine.Now()
+}
+
+// Run executes the scenario to its horizon and returns the report.
+func (s *Simulation) Run() SkewReport {
+	cfg := s.Cfg
+	var sample func()
+	sample = func() {
+		s.observe()
+		s.Engine.ScheduleAfter(cfg.SampleEvery, "sim.sample", sample)
+	}
+	s.Engine.Schedule(0, "sim.sample", sample)
+
+	s.Engine.Run(cfg.Horizon)
+	// End-of-run state at exactly the horizon, unless the periodic
+	// sampler already landed there (Horizon a multiple of SampleEvery).
+	if s.report.Samples == 0 || s.lastSampleT < cfg.Horizon {
+		s.observe()
+	}
+
+	s.report.Bound = cfg.GlobalSkewBound()
+	s.report.Transport = s.Net.Stats()
+	s.report.EventsExecuted = s.Engine.Executed()
+	s.report.EdgeAdds, s.report.EdgeRemoves = s.Graph.Stats()
+
+	s.report.MinRateSeen, s.report.MaxRateSeen = math.Inf(1), math.Inf(-1)
+	for i, hw := range s.Clocks {
+		mn, mx := hw.RateBoundsSeen()
+		if mn < s.report.MinRateSeen {
+			s.report.MinRateSeen = mn
+		}
+		if mx > s.report.MaxRateSeen {
+			s.report.MaxRateSeen = mx
+		}
+		snap := s.Nodes[i].Snap()
+		s.report.TotalJumps += snap.Jumps
+		s.report.TotalMessages += snap.Messages
+		s.report.TotalBeacons += snap.Beacons
+	}
+	return s.report
+}
+
+// Run wires and executes cfg in one call.
+func Run(cfg Config) SkewReport {
+	return New(cfg).Run()
+}

@@ -1,0 +1,207 @@
+// Package transport implements the paper's bounded-delay message model
+// (Kuhn, Locher, Oshman, SPAA 2009, Section 3.2) on top of the dynamic
+// graph: every message sent over a present edge is delivered to the other
+// endpoint after a delay in (0, maxDelay], unless the edge disappears
+// while the message is in flight, in which case the message is lost.
+// Messages never survive an edge removal — a later re-add of the same
+// edge does not resurrect them — and deliveries on one edge with equal
+// delays are FIFO (the DES kernel breaks ties by scheduling order).
+//
+// The layer subscribes to dyngraph topology events, so user code only
+// drives the graph; in-flight bookkeeping is automatic.
+package transport
+
+import (
+	"fmt"
+
+	"gcs/internal/des"
+	"gcs/internal/dyngraph"
+)
+
+// Message is one point-to-point payload in flight or delivered.
+type Message struct {
+	From, To  int
+	Edge      dyngraph.Edge
+	Payload   any
+	SentAt    des.Time
+	DeliverAt des.Time
+}
+
+// Handler consumes messages delivered to one node. It runs at the
+// message's delivery time.
+type Handler func(m Message)
+
+// DelayFn draws the in-flight delay for a message about to be sent. The
+// returned delay must lie in (0, maxDelay]; the Network panics otherwise,
+// since a zero or oversized delay would break the paper's model.
+type DelayFn func(m *Message) float64
+
+// UniformDelay returns a DelayFn drawing uniformly from (0, maxDelay]
+// using the given deterministic source.
+func UniformDelay(maxDelay float64, r *des.Rand) DelayFn {
+	if maxDelay <= 0 {
+		panic("transport: maxDelay must be positive")
+	}
+	return func(*Message) float64 {
+		// 1 - Float64() is in (0, 1], so the delay is in (0, maxDelay].
+		return maxDelay * (1 - r.Float64())
+	}
+}
+
+// FixedDelay returns a DelayFn that always charges d. Adversarial
+// schedules and tests use it to pin message timing exactly.
+func FixedDelay(d float64) DelayFn {
+	if d <= 0 {
+		panic("transport: fixed delay must be positive")
+	}
+	return func(*Message) float64 { return d }
+}
+
+// Stats counts transport activity over an execution.
+type Stats struct {
+	// Sent counts messages accepted for delivery.
+	Sent uint64
+	// Delivered counts messages handed to a receiver handler.
+	Delivered uint64
+	// Dropped counts in-flight messages lost to edge removals.
+	Dropped uint64
+	// Refused counts sends attempted over absent edges.
+	Refused uint64
+}
+
+// flight is one in-flight message and the engine event that delivers it.
+type flight struct {
+	msg Message
+	ev  *des.Event
+}
+
+// Network is the bounded-delay transport over one dynamic graph. It is
+// single-threaded, owned by the graph's engine.
+type Network struct {
+	en       *des.Engine
+	g        *dyngraph.Dynamic
+	maxDelay float64
+	delay    DelayFn
+	handlers map[int]Handler
+	inflight map[dyngraph.Edge][]*flight
+	stats    Stats
+}
+
+// New creates a transport over g with the given delay law and bound, and
+// subscribes it to g's topology events.
+func New(en *des.Engine, g *dyngraph.Dynamic, delay DelayFn, maxDelay float64) *Network {
+	if maxDelay <= 0 {
+		panic("transport: maxDelay must be positive")
+	}
+	if delay == nil {
+		panic("transport: nil DelayFn")
+	}
+	n := &Network{
+		en:       en,
+		g:        g,
+		maxDelay: maxDelay,
+		delay:    delay,
+		handlers: make(map[int]Handler),
+		inflight: make(map[dyngraph.Edge][]*flight),
+	}
+	g.Subscribe(n)
+	return n
+}
+
+// MaxDelay returns the configured delay bound.
+func (n *Network) MaxDelay() float64 { return n.maxDelay }
+
+// Stats returns the counters accumulated so far.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetHandler registers the delivery callback for node u, replacing any
+// previous one. Messages delivered to a node with no handler are counted
+// as delivered and discarded.
+func (n *Network) SetHandler(u int, h Handler) { n.handlers[u] = h }
+
+// InFlight returns the number of messages currently in flight on e.
+func (n *Network) InFlight(e dyngraph.Edge) int { return len(n.inflight[e]) }
+
+// Send transmits payload from one endpoint of a present edge to the
+// other. It reports whether the message was accepted; a send over an
+// absent edge is refused (the model has no way to transmit without an
+// edge).
+func (n *Network) Send(from, to int, payload any) bool {
+	e := dyngraph.E(from, to)
+	if !n.g.Present(e) {
+		n.stats.Refused++
+		return false
+	}
+	now := n.en.Now()
+	f := &flight{msg: Message{
+		From:    from,
+		To:      to,
+		Edge:    e,
+		Payload: payload,
+		SentAt:  now,
+	}}
+	d := n.delay(&f.msg)
+	if d <= 0 || d > n.maxDelay {
+		panic(fmt.Sprintf("transport: delay %v outside (0, %v]", d, n.maxDelay))
+	}
+	f.msg.DeliverAt = now + d
+	f.ev = n.en.Schedule(f.msg.DeliverAt, "transport.deliver", func() {
+		n.deliver(f)
+	})
+	n.inflight[e] = append(n.inflight[e], f)
+	n.stats.Sent++
+	return true
+}
+
+// Broadcast sends payload from u to every current neighbor, in ascending
+// neighbor order, and returns the number of messages sent.
+func (n *Network) Broadcast(from int, payload any) int {
+	sent := 0
+	for _, v := range n.g.Neighbors(from) {
+		if n.Send(from, v, payload) {
+			sent++
+		}
+	}
+	return sent
+}
+
+func (n *Network) deliver(f *flight) {
+	n.forget(f)
+	n.stats.Delivered++
+	if h := n.handlers[f.msg.To]; h != nil {
+		h(f.msg)
+	}
+}
+
+// forget removes f from its edge's in-flight list.
+func (n *Network) forget(f *flight) {
+	fs := n.inflight[f.msg.Edge]
+	for i, g := range fs {
+		if g == f {
+			fs[i] = fs[len(fs)-1]
+			fs = fs[:len(fs)-1]
+			break
+		}
+	}
+	if len(fs) == 0 {
+		delete(n.inflight, f.msg.Edge)
+	} else {
+		n.inflight[f.msg.Edge] = fs
+	}
+}
+
+// EdgeAdded implements dyngraph.Subscriber. A fresh edge carries no
+// traffic: in particular, messages dropped during an earlier absence of
+// the same edge stay dropped.
+func (n *Network) EdgeAdded(t float64, e dyngraph.Edge) {}
+
+// EdgeRemoved implements dyngraph.Subscriber: every message in flight on
+// the removed edge is lost (the paper's model drops messages whose edge
+// disappears before delivery).
+func (n *Network) EdgeRemoved(t float64, e dyngraph.Edge) {
+	for _, f := range n.inflight[e] {
+		n.en.Cancel(f.ev)
+		n.stats.Dropped++
+	}
+	delete(n.inflight, e)
+}

@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"testing"
+
+	"gcs/internal/des"
+	"gcs/internal/dyngraph"
+)
+
+// rig is a two-node-plus graph with a recording handler on every node.
+type rig struct {
+	en  *des.Engine
+	g   *dyngraph.Dynamic
+	net *Network
+	got map[int][]Message
+}
+
+func newRig(t *testing.T, n int, edges []dyngraph.Edge, delay DelayFn, maxDelay float64) *rig {
+	t.Helper()
+	r := &rig{
+		en:  des.NewEngine(),
+		got: map[int][]Message{},
+	}
+	r.g = dyngraph.NewDynamic(n, edges)
+	r.net = New(r.en, r.g, delay, maxDelay)
+	for u := 0; u < n; u++ {
+		u := u
+		r.net.SetHandler(u, func(m Message) {
+			r.got[u] = append(r.got[u], m)
+		})
+	}
+	return r
+}
+
+func TestDeliveryWithinBound(t *testing.T) {
+	r := newRig(t, 2, []dyngraph.Edge{dyngraph.E(0, 1)}, UniformDelay(0.25, des.NewRand(7)), 0.25)
+	const sends = 200
+	for i := 0; i < sends; i++ {
+		if !r.net.Send(0, 1, i) {
+			t.Fatalf("send %d refused over present edge", i)
+		}
+	}
+	r.en.Run(10)
+	if len(r.got[1]) != sends {
+		t.Fatalf("delivered %d, want %d", len(r.got[1]), sends)
+	}
+	for _, m := range r.got[1] {
+		d := m.DeliverAt - m.SentAt
+		if d <= 0 || d > 0.25 {
+			t.Fatalf("delay %v outside (0, 0.25]", d)
+		}
+	}
+	if s := r.net.Stats(); s.Sent != sends || s.Delivered != sends || s.Dropped != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInFlightMessageDroppedOnEdgeRemoval(t *testing.T) {
+	e := dyngraph.E(0, 1)
+	r := newRig(t, 2, []dyngraph.Edge{e}, FixedDelay(0.5), 1)
+	r.net.Send(0, 1, "doomed")
+	if r.net.InFlight(e) != 1 {
+		t.Fatalf("in flight = %d, want 1", r.net.InFlight(e))
+	}
+	r.en.Schedule(0.2, "cut", func() { r.g.Remove(r.en.Now(), e) })
+	r.en.Run(5)
+	if len(r.got[1]) != 0 {
+		t.Fatalf("message delivered despite edge removal: %v", r.got[1])
+	}
+	if s := r.net.Stats(); s.Sent != 1 || s.Delivered != 0 || s.Dropped != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if r.net.InFlight(e) != 0 {
+		t.Fatalf("in-flight bookkeeping leaked: %d", r.net.InFlight(e))
+	}
+}
+
+func TestReAddDoesNotResurrectMessage(t *testing.T) {
+	e := dyngraph.E(0, 1)
+	r := newRig(t, 2, []dyngraph.Edge{e}, FixedDelay(0.5), 1)
+	r.net.Send(0, 1, "doomed")
+	r.en.Schedule(0.1, "cut", func() { r.g.Remove(r.en.Now(), e) })
+	// Re-add well before the original delivery time of 0.5.
+	r.en.Schedule(0.2, "heal", func() { r.g.Add(r.en.Now(), e) })
+	r.en.Run(5)
+	if len(r.got[1]) != 0 {
+		t.Fatalf("dropped message resurrected by edge re-add: %v", r.got[1])
+	}
+	// The healed edge carries fresh traffic normally.
+	r.net.Send(0, 1, "fresh")
+	r.en.Run(10)
+	if len(r.got[1]) != 1 || r.got[1][0].Payload != "fresh" {
+		t.Fatalf("fresh message not delivered after re-add: %v", r.got[1])
+	}
+	if s := r.net.Stats(); s.Dropped != 1 || s.Delivered != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFIFOForEqualDelays(t *testing.T) {
+	r := newRig(t, 2, []dyngraph.Edge{dyngraph.E(0, 1)}, FixedDelay(0.25), 1)
+	for i := 0; i < 20; i++ {
+		r.net.Send(0, 1, i)
+	}
+	r.en.Run(5)
+	if len(r.got[1]) != 20 {
+		t.Fatalf("delivered %d, want 20", len(r.got[1]))
+	}
+	for i, m := range r.got[1] {
+		if m.Payload != i {
+			t.Fatalf("delivery %d carried %v; FIFO order violated", i, m.Payload)
+		}
+	}
+}
+
+func TestSendOverAbsentEdgeRefused(t *testing.T) {
+	r := newRig(t, 3, []dyngraph.Edge{dyngraph.E(0, 1)}, FixedDelay(0.1), 1)
+	if r.net.Send(0, 2, "void") {
+		t.Fatal("send over absent edge accepted")
+	}
+	if s := r.net.Stats(); s.Refused != 1 || s.Sent != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBroadcastReachesCurrentNeighborsOnly(t *testing.T) {
+	// Star around hub 0 over 5 nodes, with edge {0,3} missing.
+	edges := []dyngraph.Edge{dyngraph.E(0, 1), dyngraph.E(0, 2), dyngraph.E(0, 4)}
+	r := newRig(t, 5, edges, FixedDelay(0.1), 1)
+	if sent := r.net.Broadcast(0, "ping"); sent != 3 {
+		t.Fatalf("broadcast sent %d, want 3", sent)
+	}
+	r.en.Run(1)
+	for _, v := range []int{1, 2, 4} {
+		if len(r.got[v]) != 1 {
+			t.Fatalf("neighbor %d received %d messages, want 1", v, len(r.got[v]))
+		}
+	}
+	if len(r.got[3]) != 0 {
+		t.Fatal("non-neighbor 3 received a broadcast")
+	}
+	// Leaf broadcast goes only to the hub.
+	if sent := r.net.Broadcast(1, "pong"); sent != 1 {
+		t.Fatalf("leaf broadcast sent %d, want 1", sent)
+	}
+}
+
+func TestPartialDropOnOneEdge(t *testing.T) {
+	// Two edges from 0; only one is cut, only its traffic is lost.
+	e1, e2 := dyngraph.E(0, 1), dyngraph.E(0, 2)
+	r := newRig(t, 3, []dyngraph.Edge{e1, e2}, FixedDelay(0.5), 1)
+	r.net.Send(0, 1, "a")
+	r.net.Send(0, 2, "b")
+	r.en.Schedule(0.2, "cut", func() { r.g.Remove(r.en.Now(), e1) })
+	r.en.Run(5)
+	if len(r.got[1]) != 0 {
+		t.Fatal("message on removed edge delivered")
+	}
+	if len(r.got[2]) != 1 {
+		t.Fatal("message on surviving edge lost")
+	}
+}
