@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+
+	"gcs/internal/bench"
+)
+
+// runBench implements `gcsim bench`: it wraps `go test -run=^$ -bench`
+// over the simulation benchmark suite, parses the output, and writes a
+// BENCH_<rev>.json snapshot for cross-PR performance tracking.
+func runBench(args []string) {
+	fs := flag.NewFlagSet("gcsim bench", flag.ExitOnError)
+	var (
+		pattern   = fs.String("bench", ".", "benchmark regexp passed to go test -bench")
+		benchtime = fs.String("benchtime", "", "go test -benchtime value (e.g. 1x, 2s); empty uses the go default")
+		count     = fs.Int("count", 1, "go test -count repetitions")
+		pkg       = fs.String("pkg", "./internal/sim", "package holding the benchmarks")
+		out       = fs.String("out", ".", "directory to write BENCH_<rev>.json into")
+		rev       = fs.String("rev", "", "revision tag for the snapshot name; default `git rev-parse --short HEAD`")
+	)
+	fs.Parse(args)
+
+	tag := *rev
+	if tag == "" {
+		gitOut, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+		if err != nil {
+			fail("bench: cannot determine revision (pass -rev): %v", err)
+		}
+		tag = strings.TrimSpace(string(gitOut))
+	}
+
+	goArgs := []string{"test", "-run", "^$", "-bench", *pattern, "-benchmem",
+		"-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		goArgs = append(goArgs, "-benchtime", *benchtime)
+	}
+	goArgs = append(goArgs, *pkg)
+
+	cmd := exec.Command("go", goArgs...)
+	var buf bytes.Buffer
+	// Stream to the terminal while capturing for the parser.
+	cmd.Stdout = io.MultiWriter(os.Stdout, &buf)
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "gcsim bench: go %s\n", strings.Join(goArgs, " "))
+	if err := cmd.Run(); err != nil {
+		fail("bench: go test failed: %v", err)
+	}
+
+	rep, err := bench.Parse(&buf)
+	if err != nil {
+		fail("bench: %v", err)
+	}
+	rep.Rev = tag
+	path, err := rep.WriteFile(*out)
+	if err != nil {
+		fail("bench: %v", err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(rep.Results))
+}

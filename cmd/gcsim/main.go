@@ -6,6 +6,11 @@
 // Example:
 //
 //	go run ./cmd/gcsim -n 64 -horizon 100 -churn rotatingstar -period 2 -overlap 0.5
+//
+// The `bench` subcommand wraps the simulation benchmark suite and writes
+// a BENCH_<rev>.json snapshot for cross-PR performance tracking:
+//
+//	go run ./cmd/gcsim bench -bench . -benchtime 1x -out .
 package main
 
 import (
@@ -17,6 +22,14 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		runBench(os.Args[2:])
+		return
+	}
+	runScenario()
+}
+
+func runScenario() {
 	var (
 		n       = flag.Int("n", 16, "number of nodes")
 		seed    = flag.Uint64("seed", 1, "PRNG seed")

@@ -1,0 +1,152 @@
+// Package bench parses `go test -bench` output and emits a versioned
+// JSON record, so each PR can commit a BENCH_<rev>.json snapshot and the
+// performance trajectory stays machine-readable across revisions.
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Name is the benchmark name with any -<GOMAXPROCS> suffix stripped.
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are -1 when the benchmark did not report
+	// allocations.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Report is one benchmark run: environment header plus results.
+type Report struct {
+	// Rev tags the source revision the numbers were measured at.
+	Rev     string   `json:"rev"`
+	GoOS    string   `json:"goos,omitempty"`
+	GoArch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Package string   `json:"pkg,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Parse reads `go test -bench` output and collects the environment
+// header and every benchmark line. Non-benchmark lines (test chatter,
+// PASS/ok trailers) are ignored. It returns an error if no benchmark
+// lines are found.
+func Parse(r io.Reader) (Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if ok {
+				rep.Results = append(rep.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("bench: no benchmark lines in input")
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one line of the form
+//
+//	BenchmarkRing256-8   5   72541166 ns/op   19837235 B/op   543828 allocs/op
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the -<GOMAXPROCS> suffix if it is numeric.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: name, Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if res.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Result{}, false
+			}
+			seen = true
+		case "B/op":
+			if res.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, false
+			}
+		case "allocs/op":
+			if res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, false
+			}
+		}
+	}
+	return res, seen
+}
+
+// FileName returns the canonical snapshot name for a revision.
+func FileName(rev string) string {
+	return "BENCH_" + rev + ".json"
+}
+
+// WriteFile writes the report to dir/BENCH_<rev>.json (creating dir if
+// needed) and returns the written path.
+func (rep Report) WriteFile(dir string) (string, error) {
+	if rep.Rev == "" {
+		return "", fmt.Errorf("bench: report has no revision tag")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, FileName(rep.Rev))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadFile loads a previously written snapshot.
+func ReadFile(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return rep, nil
+}

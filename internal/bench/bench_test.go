@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: gcs/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRing256 	       5	  72541166 ns/op	19837235 B/op	  543828 allocs/op
+BenchmarkRing1024-8 	       2	 135916026 ns/op	 1841776 B/op	   27943 allocs/op
+BenchmarkNoMem 	     100	    123456 ns/op
+PASS
+ok  	gcs/internal/sim	0.365s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Package != "gcs/internal/sim" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(rep.Results), rep.Results)
+	}
+	r0 := rep.Results[0]
+	if r0.Name != "BenchmarkRing256" || r0.Iterations != 5 ||
+		r0.NsPerOp != 72541166 || r0.BytesPerOp != 19837235 || r0.AllocsPerOp != 543828 {
+		t.Fatalf("result 0 = %+v", r0)
+	}
+	// The -8 GOMAXPROCS suffix is stripped.
+	if rep.Results[1].Name != "BenchmarkRing1024" {
+		t.Fatalf("result 1 name = %q", rep.Results[1].Name)
+	}
+	// Missing -benchmem columns become -1, not 0.
+	r2 := rep.Results[2]
+	if r2.NsPerOp != 123456 || r2.BytesPerOp != -1 || r2.AllocsPerOp != -1 {
+		t.Fatalf("result 2 = %+v", r2)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("Parse accepted input with no benchmark lines")
+	}
+}
+
+func TestWriteAndReadRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Rev = "abc1234"
+	dir := t.TempDir()
+	path, err := rep.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_abc1234.json" {
+		t.Fatalf("path = %q", path)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rev != "abc1234" || len(back.Results) != len(rep.Results) {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if back.Results[0] != rep.Results[0] {
+		t.Fatalf("result drift: %+v vs %+v", back.Results[0], rep.Results[0])
+	}
+}
+
+func TestWriteFileRequiresRev(t *testing.T) {
+	rep := Report{Results: []Result{{Name: "B"}}}
+	if _, err := rep.WriteFile(t.TempDir()); err == nil {
+		t.Fatal("WriteFile accepted a report with no revision")
+	}
+}

@@ -9,10 +9,16 @@
 // primitive behind the algorithm's set_timer(dt, id) calls. Subjective
 // timers stay correct across rate changes: every rate change reschedules
 // the pending timers at the new exact fire time.
+//
+// Timers are pooled: fired and cancelled Timer structs are recycled, user
+// code holds generation-checked TimerRef handles, and all timer firings
+// of one clock share a single long-lived engine callback, so the beacon
+// hot path allocates nothing per tick.
 package clock
 
 import (
 	"fmt"
+	"math"
 
 	"gcs/internal/des"
 )
@@ -27,8 +33,18 @@ type HardwareClock struct {
 	lastH float64
 	rate  float64
 
-	// Pending subjective timers, rescheduled on every rate change.
-	timers map[*Timer]struct{}
+	// Pending subjective timers, rescheduled on every rate change. Each
+	// active timer records its position here for O(1) removal, and the
+	// slice order makes reschedule order (hence engine tie-breaking)
+	// deterministic.
+	active []*Timer
+	// arena holds every Timer ever created for this clock, indexed by
+	// Timer.id; free lists the recycled ones.
+	arena []*Timer
+	free  []*Timer
+	// fire is the single engine callback backing all of this clock's
+	// timers; the event arg is the timer's arena id.
+	fire des.ArgHandler
 
 	// maxRate/minRate observed, for drift validation in tests.
 	minRateSeen, maxRateSeen float64
@@ -40,15 +56,16 @@ func New(en *des.Engine, initialRate float64) *HardwareClock {
 	if initialRate <= 0 {
 		panic("clock: nonpositive rate")
 	}
-	return &HardwareClock{
+	c := &HardwareClock{
 		en:          en,
 		lastT:       en.Now(),
 		lastH:       0,
 		rate:        initialRate,
-		timers:      make(map[*Timer]struct{}),
 		minRateSeen: initialRate,
 		maxRateSeen: initialRate,
 	}
+	c.fire = func(id uint64) { c.fireTimer(c.arena[id]) }
+	return c
 }
 
 // Now returns the hardware clock reading at the engine's current time.
@@ -92,7 +109,7 @@ func (c *HardwareClock) SetRate(rate float64) {
 	if rate > c.maxRateSeen {
 		c.maxRateSeen = rate
 	}
-	for tm := range c.timers {
+	for _, tm := range c.active {
 		c.reschedule(tm)
 	}
 }
@@ -113,64 +130,110 @@ func (c *HardwareClock) timeWhen(hTarget float64) des.Time {
 
 // Timer is a pending subjective timer: it fires when the owning clock
 // reaches a target reading, surviving any number of rate changes in
-// between.
+// between. Timers are owned and recycled by their clock; user code holds
+// TimerRef handles.
 type Timer struct {
-	c       *HardwareClock
 	targetH float64
 	label   string
 	fn      func()
-	ev      *des.Event
-	fired   bool
+	ev      des.EventRef
+	id      uint64 // arena index, fixed for the Timer's lifetime
+	gen     uint32
+	pos     int32 // index in the clock's active slice, -1 when pooled
+}
+
+// TimerRef is a generation-checked handle to a subjective timer. The zero
+// TimerRef refers to no timer. A ref goes stale when its timer fires or
+// is cancelled; stale refs are safe to hold and to cancel (a no-op),
+// even after the clock recycles the Timer for a new SetTimer.
+type TimerRef struct {
+	tm  *Timer
+	gen uint32
+}
+
+// Pending reports whether the referenced timer is still set.
+func (r TimerRef) Pending() bool { return r.tm != nil && r.tm.gen == r.gen }
+
+// Done reports whether the referenced timer has fired or been cancelled.
+// The zero TimerRef is neither pending nor done.
+func (r TimerRef) Done() bool { return r.tm != nil && r.tm.gen != r.gen }
+
+// TargetH returns the hardware reading at which the timer fires, or NaN
+// once the ref is stale.
+func (r TimerRef) TargetH() float64 {
+	if !r.Pending() {
+		return math.NaN()
+	}
+	return r.tm.targetH
 }
 
 // SetTimer schedules fn to run when the clock has advanced by dH from its
 // current reading (the paper's set_timer(dt, id)). dH must be
-// nonnegative.
-func (c *HardwareClock) SetTimer(dH float64, label string, fn func()) *Timer {
+// nonnegative. The callback is retained until the timer fires or is
+// cancelled; hot-path callers should pass a long-lived func value rather
+// than a fresh closure.
+func (c *HardwareClock) SetTimer(dH float64, label string, fn func()) TimerRef {
 	if dH < 0 {
 		panic("clock: negative timer duration")
 	}
-	tm := &Timer{
-		c:       c,
-		targetH: c.Now() + dH,
-		label:   label,
-		fn:      fn,
+	var tm *Timer
+	if n := len(c.free); n > 0 {
+		tm = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	} else {
+		tm = &Timer{id: uint64(len(c.arena))}
+		c.arena = append(c.arena, tm)
 	}
-	c.timers[tm] = struct{}{}
+	tm.targetH = c.Now() + dH
+	tm.label = label
+	tm.fn = fn
+	tm.pos = int32(len(c.active))
+	c.active = append(c.active, tm)
 	c.reschedule(tm)
-	return tm
+	return TimerRef{tm: tm, gen: tm.gen}
 }
 
 // reschedule (re)registers the engine event backing tm.
 func (c *HardwareClock) reschedule(tm *Timer) {
-	if tm.ev != nil {
-		c.en.Cancel(tm.ev)
-	}
-	tm.ev = c.en.Schedule(c.timeWhen(tm.targetH), tm.label, func() {
-		tm.fired = true
-		delete(c.timers, tm)
-		tm.fn()
-	})
+	c.en.Cancel(tm.ev)
+	tm.ev = c.en.ScheduleArg(c.timeWhen(tm.targetH), tm.label, c.fire, tm.id)
 }
 
-// Cancel cancels the timer (the paper's cancel(id)). Cancelling a nil,
-// fired, or already-cancelled timer is a no-op.
-func (c *HardwareClock) CancelTimer(tm *Timer) {
-	if tm == nil || tm.fired {
+// fireTimer runs when tm's engine event fires: the timer is released
+// before its callback so the callback can set new timers that reuse it.
+func (c *HardwareClock) fireTimer(tm *Timer) {
+	fn := tm.fn
+	c.release(tm)
+	fn()
+}
+
+// release removes tm from the active set, invalidates outstanding refs,
+// and returns it to the free list.
+func (c *HardwareClock) release(tm *Timer) {
+	last := len(c.active) - 1
+	moved := c.active[last]
+	c.active[tm.pos] = moved
+	moved.pos = tm.pos
+	c.active[last] = nil
+	c.active = c.active[:last]
+	tm.pos = -1
+	tm.gen++
+	tm.fn = nil
+	tm.ev = des.EventRef{}
+	c.free = append(c.free, tm)
+}
+
+// CancelTimer cancels the referenced timer (the paper's cancel(id)).
+// Cancelling a zero or stale ref is a no-op.
+func (c *HardwareClock) CancelTimer(r TimerRef) {
+	tm := r.tm
+	if tm == nil || tm.gen != r.gen {
 		return
 	}
-	delete(c.timers, tm)
-	if tm.ev != nil {
-		c.en.Cancel(tm.ev)
-		tm.ev = nil
-	}
+	c.en.Cancel(tm.ev)
+	c.release(tm)
 }
 
-// Fired reports whether the timer has fired.
-func (tm *Timer) Fired() bool { return tm.fired }
-
-// TargetH returns the hardware reading at which the timer fires.
-func (tm *Timer) TargetH() float64 { return tm.targetH }
-
 // PendingTimers returns the number of subjective timers currently set.
-func (c *HardwareClock) PendingTimers() int { return len(c.timers) }
+func (c *HardwareClock) PendingTimers() int { return len(c.active) }

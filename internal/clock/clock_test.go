@@ -135,21 +135,38 @@ func TestCancelTimer(t *testing.T) {
 		t.Fatalf("PendingTimers = %d, want 0", c.PendingTimers())
 	}
 	c.CancelTimer(tm) // no-op
-	c.CancelTimer(nil)
+	c.CancelTimer(TimerRef{})
 }
 
-func TestTimerFiredFlag(t *testing.T) {
+func TestTimerDoneFlag(t *testing.T) {
 	en := des.NewEngine()
 	c := New(en, 1.0)
 	tm := c.SetTimer(5, "tick", func() {})
-	if tm.Fired() {
-		t.Fatal("timer marked fired before firing")
+	if tm.Done() || !tm.Pending() {
+		t.Fatal("timer marked done before firing")
 	}
 	en.Run(10)
-	if !tm.Fired() {
-		t.Fatal("timer not marked fired")
+	if !tm.Done() || tm.Pending() {
+		t.Fatal("timer not marked done after firing")
 	}
 	c.CancelTimer(tm) // no-op after fire
+}
+
+// A stale TimerRef must not cancel the recycled Timer now backing a new
+// SetTimer — the clock-layer analogue of the event pool's generation
+// guarantee.
+func TestStaleTimerRefCannotCancelRecycledTimer(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1.0)
+	stale := c.SetTimer(1, "old", func() {})
+	en.Run(2) // fires and recycles the timer
+	fired := false
+	c.SetTimer(1, "new", func() { fired = true })
+	c.CancelTimer(stale) // must be a no-op
+	en.Run(5)
+	if !fired {
+		t.Fatal("stale CancelTimer killed a recycled timer")
+	}
 }
 
 func TestTimerZeroDuration(t *testing.T) {

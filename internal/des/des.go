@@ -10,10 +10,16 @@
 // kernel. Between events every continuous quantity in the system is
 // piecewise linear, so evaluating state lazily at event boundaries is
 // exact and introduces no discretization error.
+//
+// The kernel is allocation-free in steady state: fired and cancelled
+// events are recycled through a free list, the priority queue is a
+// hand-rolled 4-ary index heap (shallower than a binary heap for the
+// push/pop-heavy simulation workload, with no container/heap interface
+// overhead), and ScheduleArg lets periodic schedulers reuse one
+// long-lived callback instead of allocating a closure per event.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -28,67 +34,63 @@ type Time = float64
 // of the call.
 type Handler func()
 
+// ArgHandler is the argument-carrying form of Handler: one long-lived
+// ArgHandler can back any number of events, distinguished by arg, so
+// schedulers on hot paths do not allocate a closure per event.
+type ArgHandler func(arg uint64)
+
 // Event is a scheduled occurrence in the simulation. Events are owned by
-// the engine; user code holds *Event handles only to cancel them.
+// the engine and recycled after they fire or are cancelled; user code
+// only ever holds EventRef handles.
 type Event struct {
-	t         Time
-	seq       uint64
-	fn        Handler
-	cancelled bool
-	index     int // heap index, -1 when popped
-	label     string
+	t     Time
+	seq   uint64
+	arg   uint64
+	fn    Handler
+	afn   ArgHandler
+	label string
+	gen   uint32
+	index int32 // position in the heap, -1 when pooled
 }
 
-// Time returns the simulated time at which the event is (or was)
-// scheduled to fire.
-func (e *Event) Time() Time { return e.t }
+// EventRef is a generation-checked handle to a scheduled event. The zero
+// EventRef refers to no event. A ref goes stale the instant its event
+// fires or is cancelled; stale refs are safe to hold and to Cancel (a
+// no-op), even after the engine recycles the underlying Event for a new
+// schedule.
+type EventRef struct {
+	e   *Event
+	gen uint32
+}
 
-// Cancelled reports whether the event has been cancelled.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// Pending reports whether the referenced event is still scheduled (not
+// yet fired or cancelled).
+func (r EventRef) Pending() bool { return r.e != nil && r.e.gen == r.gen }
 
-// Label returns the debug label attached at scheduling time.
-func (e *Event) Label() string { return e.label }
-
-// eventQueue is a binary min-heap ordered by (time, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].t != q[j].t {
-		return q[i].t < q[j].t
+// Time returns the scheduled fire time while the event is pending, and
+// NaN once the ref is stale (the underlying Event may have been recycled).
+func (r EventRef) Time() Time {
+	if !r.Pending() {
+		return math.NaN()
 	}
-	return q[i].seq < q[j].seq
+	return r.e.t
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// Label returns the debug label while the event is pending, and "" once
+// the ref is stale.
+func (r EventRef) Label() string {
+	if !r.Pending() {
+		return ""
+	}
+	return r.e.label
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe
-// for concurrent use; the live goroutine runtime in internal/runtime is
-// the concurrent counterpart.
+// for concurrent use.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	heap    []*Event // 4-ary min-heap ordered by (t, seq)
+	free    []*Event // recycled events
 	nextSeq uint64
 	// executed counts events that have fired (not cancelled ones).
 	executed uint64
@@ -108,43 +110,103 @@ func (en *Engine) Now() Time { return en.now }
 // Executed returns the number of events that have fired so far.
 func (en *Engine) Executed() uint64 { return en.executed }
 
-// Pending returns the number of events in the queue, including cancelled
-// events that have not yet been discarded.
-func (en *Engine) Pending() int { return len(en.queue) }
+// Pending returns the number of events in the queue. Cancelled events are
+// removed eagerly, so every counted event will fire unless cancelled
+// later.
+func (en *Engine) Pending() int { return len(en.heap) }
+
+// PoolSize returns the number of recycled events on the free list, for
+// observability in tests.
+func (en *Engine) PoolSize() int { return len(en.free) }
 
 // Schedule registers fn to run at absolute time t and returns a handle
 // that can be cancelled. Scheduling in the past (t < Now) panics: the
 // network model has no retroactive events, so this is always a bug in the
 // caller.
-func (en *Engine) Schedule(t Time, label string, fn Handler) *Event {
+func (en *Engine) Schedule(t Time, label string, fn Handler) EventRef {
+	e := en.schedule(t, label)
+	e.fn = fn
+	return EventRef{e: e, gen: e.gen}
+}
+
+// ScheduleArg registers fn(arg) to run at absolute time t. It is the
+// zero-allocation counterpart of Schedule for callers that would
+// otherwise close over per-event state.
+func (en *Engine) ScheduleArg(t Time, label string, fn ArgHandler, arg uint64) EventRef {
+	e := en.schedule(t, label)
+	e.afn = fn
+	e.arg = arg
+	return EventRef{e: e, gen: e.gen}
+}
+
+func (en *Engine) schedule(t Time, label string) *Event {
 	if math.IsNaN(t) {
 		panic("des: schedule at NaN time")
 	}
 	if t < en.now {
 		panic(fmt.Sprintf("des: schedule at %v before now %v (%s)", t, en.now, label))
 	}
-	e := &Event{t: t, seq: en.nextSeq, fn: fn, label: label}
+	var e *Event
+	if n := len(en.free); n > 0 {
+		e = en.free[n-1]
+		en.free[n-1] = nil
+		en.free = en.free[:n-1]
+	} else {
+		e = &Event{}
+	}
+	e.t = t
+	e.seq = en.nextSeq
+	e.label = label
 	en.nextSeq++
-	heap.Push(&en.queue, e)
+	en.push(e)
 	return e
 }
 
 // ScheduleAfter registers fn to run d seconds of simulated time from now.
-func (en *Engine) ScheduleAfter(d Time, label string, fn Handler) *Event {
+func (en *Engine) ScheduleAfter(d Time, label string, fn Handler) EventRef {
 	return en.Schedule(en.now+d, label, fn)
 }
 
-// Cancel marks an event as cancelled. A cancelled event never fires.
-// Cancelling a nil, already-fired, or already-cancelled event is a no-op,
-// mirroring the paper's cancel(timer-ID) semantics.
-func (en *Engine) Cancel(e *Event) {
-	if e == nil || e.cancelled {
+// ScheduleAfterArg registers fn(arg) to run d seconds from now.
+func (en *Engine) ScheduleAfterArg(d Time, label string, fn ArgHandler, arg uint64) EventRef {
+	return en.ScheduleArg(en.now+d, label, fn, arg)
+}
+
+// Cancel removes the referenced event from the queue and recycles it. A
+// cancelled event never fires. Cancelling a zero or stale ref (already
+// fired, already cancelled, or recycled) is a no-op, mirroring the
+// paper's cancel(timer-ID) semantics.
+func (en *Engine) Cancel(r EventRef) {
+	e := r.e
+	if e == nil || e.gen != r.gen {
 		return
 	}
-	e.cancelled = true
-	if e.index >= 0 {
-		heap.Remove(&en.queue, e.index)
-		e.index = -1
+	en.remove(int(e.index))
+	en.release(e)
+}
+
+// release invalidates outstanding refs and returns e to the free list.
+func (en *Engine) release(e *Event) {
+	e.gen++
+	e.fn = nil
+	e.afn = nil
+	e.label = ""
+	e.index = -1
+	en.free = append(en.free, e)
+}
+
+// fire advances time to e, recycles it, and runs its callback. The event
+// is released before the callback so the callback may schedule new events
+// that reuse it; outstanding refs are already stale by then.
+func (en *Engine) fire(e *Event) {
+	en.now = e.t
+	en.executed++
+	fn, afn, arg := e.fn, e.afn, e.arg
+	en.release(e)
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
 	}
 }
 
@@ -155,32 +217,31 @@ func (en *Engine) Stop() { en.stopped = true }
 // Step fires the single earliest pending event, if any, and reports
 // whether an event fired.
 func (en *Engine) Step() bool {
-	for len(en.queue) > 0 {
-		e := heap.Pop(&en.queue).(*Event)
-		if e.cancelled {
-			continue
-		}
-		en.now = e.t
-		en.executed++
-		e.fn()
-		return true
+	if len(en.heap) == 0 {
+		return false
 	}
-	return false
+	e := en.heap[0]
+	en.remove(0)
+	en.fire(e)
+	return true
 }
 
 // Run fires events in order until the queue is empty, Stop is called, or
 // the next event would fire strictly after horizon. On return Now() is
 // min(horizon, time of last event) if events fired, or horizon if the
 // queue drained earlier; the engine always advances Now to horizon so
-// that callers can sample end-of-run state.
+// that callers can sample end-of-run state. The head of the queue is
+// fired directly — cancellation removes events eagerly, so no skip pass
+// is needed between the peek and the fire.
 func (en *Engine) Run(horizon Time) {
 	en.stopped = false
-	for !en.stopped {
-		e := en.peek()
-		if e == nil || e.t > horizon {
+	for !en.stopped && len(en.heap) > 0 {
+		e := en.heap[0]
+		if e.t > horizon {
 			break
 		}
-		en.Step()
+		en.remove(0)
+		en.fire(e)
 	}
 	if en.now < horizon {
 		en.now = horizon
@@ -200,24 +261,92 @@ func (en *Engine) RunUntilIdle(maxEvents uint64) {
 	}
 }
 
-// peek returns the earliest non-cancelled event without firing it.
-func (en *Engine) peek() *Event {
-	for len(en.queue) > 0 {
-		e := en.queue[0]
-		if !e.cancelled {
-			return e
-		}
-		heap.Pop(&en.queue)
-	}
-	return nil
-}
-
 // NextEventTime returns the fire time of the earliest pending event and
 // true, or (0, false) if the queue is empty.
 func (en *Engine) NextEventTime() (Time, bool) {
-	e := en.peek()
-	if e == nil {
+	if len(en.heap) == 0 {
 		return 0, false
 	}
-	return e.t, true
+	return en.heap[0].t, true
+}
+
+// ---- 4-ary index heap, ordered by (t, seq) ----
+
+func eventLess(a, b *Event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (en *Engine) push(e *Event) {
+	en.heap = append(en.heap, e)
+	e.index = int32(len(en.heap) - 1)
+	en.siftUp(len(en.heap) - 1)
+}
+
+// remove deletes the event at heap position i, restoring the invariant.
+func (en *Engine) remove(i int) {
+	h := en.heap
+	n := len(h) - 1
+	e := h[i]
+	if i != n {
+		moved := h[n]
+		h[i] = moved
+		moved.index = int32(i)
+	}
+	h[n] = nil
+	en.heap = h[:n]
+	if i < n {
+		moved := en.heap[i]
+		en.siftDown(i)
+		en.siftUp(int(moved.index))
+	}
+	e.index = -1
+}
+
+func (en *Engine) siftUp(i int) {
+	h := en.heap
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = int32(i)
+		i = p
+	}
+	h[i] = e
+	e.index = int32(i)
+}
+
+func (en *Engine) siftDown(i int) {
+	h := en.heap
+	n := len(h)
+	e := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		m := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(h[c], h[m]) {
+				m = c
+			}
+		}
+		if !eventLess(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		h[i].index = int32(i)
+		i = m
+	}
+	h[i] = e
+	e.index = int32(i)
 }

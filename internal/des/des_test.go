@@ -73,18 +73,18 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !e.Cancelled() {
-		t.Fatal("Cancelled() = false after Cancel")
+	if e.Pending() {
+		t.Fatal("Pending() = true after Cancel")
 	}
-	// Cancelling again and cancelling nil are no-ops.
+	// Cancelling again and cancelling the zero ref are no-ops.
 	en.Cancel(e)
-	en.Cancel(nil)
+	en.Cancel(EventRef{})
 }
 
 func TestCancelFromHandler(t *testing.T) {
 	en := NewEngine()
 	fired := false
-	var victim *Event
+	var victim EventRef
 	en.Schedule(1, "canceller", func() { en.Cancel(victim) })
 	victim = en.Schedule(2, "victim", func() { fired = true })
 	en.Run(10)
@@ -241,6 +241,125 @@ func TestEventAccessors(t *testing.T) {
 	}
 	if e.Label() != "mylabel" {
 		t.Fatalf("Label = %q", e.Label())
+	}
+	if !e.Pending() {
+		t.Fatal("Pending = false before firing")
+	}
+	en.Run(10)
+	if e.Pending() {
+		t.Fatal("Pending = true after firing")
+	}
+	if !math.IsNaN(e.Time()) || e.Label() != "" {
+		t.Fatalf("stale accessors = %v, %q; want NaN, \"\"", e.Time(), e.Label())
+	}
+}
+
+func TestScheduleArg(t *testing.T) {
+	en := NewEngine()
+	var got []uint64
+	collect := func(arg uint64) { got = append(got, arg) }
+	en.ScheduleArg(2, "b", collect, 2)
+	en.ScheduleArg(1, "a", collect, 1)
+	en.ScheduleAfterArg(3, "c", collect, 3)
+	en.Run(10)
+	want := []uint64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+// A stale ref must never cancel the recycled event now occupying the same
+// Event struct: this is the generation-counter guarantee of the pool.
+func TestStaleRefCannotCancelRecycledEvent(t *testing.T) {
+	en := NewEngine()
+	stale := en.Schedule(1, "victim", func() {})
+	en.Run(1) // fires and recycles the event
+	if stale.Pending() {
+		t.Fatal("ref still pending after fire")
+	}
+	if en.PoolSize() == 0 {
+		t.Fatal("fired event was not pooled")
+	}
+	fired := false
+	fresh := en.Schedule(2, "fresh", func() { fired = true })
+	en.Cancel(stale) // must be a no-op even though the Event was reused
+	en.Run(3)
+	if !fired {
+		t.Fatal("stale Cancel killed a recycled event")
+	}
+	if fresh.Pending() {
+		t.Fatal("fresh event still pending after firing")
+	}
+
+	// Same for a ref left stale by cancellation rather than firing.
+	staleCancelled := en.Schedule(4, "cancelled", func() {})
+	en.Cancel(staleCancelled)
+	refired := false
+	en.Schedule(5, "fresh2", func() { refired = true })
+	en.Cancel(staleCancelled)
+	en.Run(6)
+	if !refired {
+		t.Fatal("cancelled-stale ref killed a recycled event")
+	}
+}
+
+// TestEventPoolStress interleaves schedules, fires, live cancels, and
+// stale cancels, then checks that every event fired exactly once unless
+// it was cancelled while pending — i.e. recycling never loses or
+// duplicates a firing and stale handles never reach a recycled event.
+func TestEventPoolStress(t *testing.T) {
+	r := NewRand(20090613)
+	en := NewEngine()
+	var (
+		refs      []EventRef
+		fireCount []int
+		cancelled []bool
+	)
+	scheduleOne := func() {
+		idx := len(fireCount)
+		fireCount = append(fireCount, 0)
+		cancelled = append(cancelled, false)
+		refs = append(refs, en.ScheduleAfter(r.Range(0, 5), "stress", func() {
+			fireCount[idx]++
+		}))
+	}
+	for i := 0; i < 3000; i++ {
+		switch {
+		case r.Float64() < 0.5:
+			scheduleOne()
+		case r.Float64() < 0.5 && len(refs) > 0:
+			// Cancel a random ref: live or stale, the engine must sort it out.
+			j := r.Intn(len(refs))
+			wasPending := refs[j].Pending()
+			en.Cancel(refs[j])
+			if wasPending {
+				cancelled[j] = true
+			}
+		default:
+			en.Step()
+		}
+	}
+	en.RunUntilIdle(100000)
+	for i := range fireCount {
+		want := 1
+		if cancelled[i] {
+			want = 0
+		}
+		if fireCount[i] != want {
+			t.Fatalf("event %d fired %d times, want %d (cancelled=%v)",
+				i, fireCount[i], want, cancelled[i])
+		}
+	}
+	if en.PoolSize() == 0 {
+		t.Fatal("stress run never pooled an event")
+	}
+	if en.Pending() != 0 {
+		t.Fatalf("queue not drained: %d pending", en.Pending())
 	}
 }
 

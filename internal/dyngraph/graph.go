@@ -78,9 +78,11 @@ type Dynamic struct {
 	n       int
 	present map[Edge]bool
 	hist    map[Edge][]Interval
-	// adj mirrors present as per-node adjacency sets so that Neighbors
-	// and Degree cost O(deg) instead of scanning every edge ever seen.
-	adj   []map[int]struct{}
+	// adj mirrors present as per-node sorted neighbor slices, so that
+	// Neighbors and Degree cost O(deg) instead of scanning every edge
+	// ever seen, and AppendNeighbors yields a deterministic ascending
+	// order without sorting or allocating.
+	adj   [][]int
 	subs  []Subscriber
 	lastT float64
 	// counts for reporting
@@ -97,10 +99,7 @@ func NewDynamic(n int, initial []Edge) *Dynamic {
 		n:       n,
 		present: make(map[Edge]bool),
 		hist:    make(map[Edge][]Interval),
-		adj:     make([]map[int]struct{}, n),
-	}
-	for i := range g.adj {
-		g.adj[i] = make(map[int]struct{})
+		adj:     make([][]int, n),
 	}
 	for _, e := range initial {
 		g.check(e)
@@ -108,11 +107,36 @@ func NewDynamic(n int, initial []Edge) *Dynamic {
 			continue
 		}
 		g.present[e] = true
-		g.adj[e.U][e.V] = struct{}{}
-		g.adj[e.V][e.U] = struct{}{}
+		g.linkAdj(e)
 		g.hist[e] = append(g.hist[e], Interval{Start: 0, End: math.Inf(1)})
 	}
 	return g
+}
+
+// linkAdj inserts each endpoint into the other's sorted neighbor slice.
+func (g *Dynamic) linkAdj(e Edge) {
+	g.adj[e.U] = insertSorted(g.adj[e.U], e.V)
+	g.adj[e.V] = insertSorted(g.adj[e.V], e.U)
+}
+
+// unlinkAdj removes each endpoint from the other's sorted neighbor slice.
+func (g *Dynamic) unlinkAdj(e Edge) {
+	g.adj[e.U] = removeSorted(g.adj[e.U], e.V)
+	g.adj[e.V] = removeSorted(g.adj[e.V], e.U)
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
 }
 
 func (g *Dynamic) check(e Edge) {
@@ -139,8 +163,7 @@ func (g *Dynamic) Add(t float64, e Edge) {
 		return
 	}
 	g.present[e] = true
-	g.adj[e.U][e.V] = struct{}{}
-	g.adj[e.V][e.U] = struct{}{}
+	g.linkAdj(e)
 	g.hist[e] = append(g.hist[e], Interval{Start: t, End: math.Inf(1)})
 	g.adds++
 	for _, s := range g.subs {
@@ -158,8 +181,7 @@ func (g *Dynamic) Remove(t float64, e Edge) {
 	// Delete rather than set false: under heavy churn the presence map
 	// would otherwise grow with every edge ever seen.
 	delete(g.present, e)
-	delete(g.adj[e.U], e.V)
-	delete(g.adj[e.V], e.U)
+	g.unlinkAdj(e)
 	ivs := g.hist[e]
 	ivs[len(ivs)-1].End = t
 	g.removes++
@@ -178,29 +200,31 @@ func (g *Dynamic) advance(t float64) {
 // Stats returns the number of add and remove events so far.
 func (g *Dynamic) Stats() (adds, removes int) { return g.adds, g.removes }
 
-// Neighbors returns the nodes currently adjacent to u, sorted ascending.
-// The sorted order makes broadcast fan-out deterministic.
+// Neighbors returns a copy of the nodes currently adjacent to u, sorted
+// ascending.
 func (g *Dynamic) Neighbors(u int) []int {
-	out := make([]int, 0, len(g.adj[u]))
-	for v := range g.adj[u] {
-		out = append(out, v)
-	}
-	sort.Ints(out)
-	return out
+	return append([]int(nil), g.adj[u]...)
 }
 
 // Degree returns the number of edges currently incident to u.
 func (g *Dynamic) Degree(u int) int { return len(g.adj[u]) }
 
 // AppendNeighbors appends the nodes currently adjacent to u to buf, in
-// unspecified order, and returns the extended slice. Callers on hot
-// paths reuse buf across calls to avoid allocating; use Neighbors when
-// a deterministic order is needed.
+// ascending order, and returns the extended slice. Callers on hot paths
+// reuse buf across calls to avoid allocating; the deterministic order
+// makes broadcast fan-out (and hence PRNG draw order) reproducible.
 func (g *Dynamic) AppendNeighbors(u int, buf []int) []int {
-	for v := range g.adj[u] {
-		buf = append(buf, v)
+	return append(buf, g.adj[u]...)
+}
+
+// RangeCurrentEdges calls f for every edge present now, in unspecified
+// order, without allocating. Use it for order-independent aggregations
+// (maxima, counts) on hot paths; use CurrentEdges when a sorted snapshot
+// is needed.
+func (g *Dynamic) RangeCurrentEdges(f func(Edge)) {
+	for e := range g.present {
+		f(e)
 	}
-	return buf
 }
 
 // CurrentEdges returns the edges present now, sorted. Remove deletes

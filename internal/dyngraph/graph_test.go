@@ -64,3 +64,35 @@ func TestCurrentEdgesAfterChurn(t *testing.T) {
 		t.Fatalf("CurrentEdges = %v, want %v", got, want)
 	}
 }
+
+func TestAppendNeighborsAscendingAndReused(t *testing.T) {
+	g := NewDynamic(6, []Edge{E(0, 5), E(0, 1), E(0, 3)})
+	buf := make([]int, 0, 8)
+	buf = g.AppendNeighbors(0, buf)
+	if !reflect.DeepEqual(buf, []int{1, 3, 5}) {
+		t.Fatalf("AppendNeighbors = %v, want ascending [1 3 5]", buf)
+	}
+	g.Add(1, E(0, 2))
+	g.Remove(2, E(0, 5))
+	buf = g.AppendNeighbors(0, buf[:0])
+	if !reflect.DeepEqual(buf, []int{1, 2, 3}) {
+		t.Fatalf("AppendNeighbors after churn = %v, want [1 2 3]", buf)
+	}
+}
+
+func TestRangeCurrentEdgesVisitsExactlyPresentEdges(t *testing.T) {
+	g := NewDynamic(4, Line(4))
+	g.Remove(1, E(1, 2))
+	g.Add(2, E(0, 3))
+	seen := map[Edge]int{}
+	g.RangeCurrentEdges(func(e Edge) { seen[e]++ })
+	want := []Edge{{0, 1}, {0, 3}, {2, 3}}
+	if len(seen) != len(want) {
+		t.Fatalf("visited %v, want %v", seen, want)
+	}
+	for _, e := range want {
+		if seen[e] != 1 {
+			t.Fatalf("edge %v visited %d times", e, seen[e])
+		}
+	}
+}

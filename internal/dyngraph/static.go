@@ -41,39 +41,54 @@ func Connected(n int, edges []Edge) bool {
 // Distances returns BFS hop distances from src in the static graph;
 // unreachable nodes get -1. This is the paper's dist(src, v).
 func Distances(n int, edges []Edge, src int) []int {
-	adj := Adjacency(n, edges)
 	dist := make([]int, n)
+	bfs(Adjacency(n, edges), src, dist, make([]int, 0, n))
+	return dist
+}
+
+// bfs fills dist with hop distances from src (-1 for unreachable),
+// reusing the caller's queue buffer, and returns the eccentricity of src
+// (the largest finite distance).
+func bfs(adj [][]int, src int, dist, queue []int) int {
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	queue = append(queue[:0], src)
+	ecc := 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, v := range adj[u] {
 			if dist[v] < 0 {
 				dist[v] = dist[u] + 1
+				if dist[v] > ecc {
+					ecc = dist[v]
+				}
 				queue = append(queue, v)
 			}
 		}
 	}
-	return dist
+	return ecc
 }
 
 // Diameter returns the maximum finite pairwise distance of the static
-// graph, or -1 if the graph is disconnected.
+// graph, or -1 if the graph is disconnected. The adjacency structure and
+// BFS buffers are built once and shared across all n source traversals,
+// so the whole computation performs O(n) allocations, not O(n^2).
 func Diameter(n int, edges []Edge) int {
+	adj := Adjacency(n, edges)
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
 	diam := 0
 	for s := 0; s < n; s++ {
-		d := Distances(n, edges, s)
-		for _, x := range d {
+		ecc := bfs(adj, s, dist, queue)
+		for _, x := range dist {
 			if x < 0 {
 				return -1
 			}
-			if x > diam {
-				diam = x
-			}
+		}
+		if ecc > diam {
+			diam = ecc
 		}
 	}
 	return diam

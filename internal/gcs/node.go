@@ -132,7 +132,10 @@ type Node struct {
 	// maxNorm is the running maximum of est[*].norm (-Inf when empty);
 	// per-source norms only ever increase, so it never needs a rescan.
 	maxNorm float64
-	catchup *clock.Timer
+	catchup clock.TimerRef
+	// recomputeFn is the long-lived func value backing catch-up timers,
+	// so rearming one does not allocate a method-value closure.
+	recomputeFn func()
 
 	msgs, jumps, beacons int
 	fast                 bool
@@ -151,7 +154,7 @@ func New(id int, hw *clock.HardwareClock, p Params,
 	if neighbors == nil {
 		neighbors = func(buf []int) []int { return buf }
 	}
-	return &Node{
+	nd := &Node{
 		id:        id,
 		hw:        hw,
 		p:         p,
@@ -163,6 +166,8 @@ func New(id int, hw *clock.HardwareClock, p Params,
 		est:       make(map[int]estimate),
 		maxNorm:   math.Inf(-1),
 	}
+	nd.recomputeFn = nd.recompute
+	return nd
 }
 
 // ID returns the node's identifier.
@@ -269,13 +274,13 @@ func (nd *Node) recompute() {
 	}
 
 	nd.hw.CancelTimer(nd.catchup)
-	nd.catchup = nil
+	nd.catchup = clock.TimerRef{}
 	if fast {
 		// L reaches target after (target-L)/mult hardware time; the
 		// estimate will have aged less than that (ageFactor < 1 <= mult),
 		// so each round shrinks the gap geometrically until it is <= Kappa.
 		dH := (target - L) / nd.mult
-		nd.catchup = nd.hw.SetTimer(dH, "gcs.catchup", nd.recompute)
+		nd.catchup = nd.hw.SetTimer(dH, "gcs.catchup", nd.recomputeFn)
 	}
 }
 

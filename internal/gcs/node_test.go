@@ -25,7 +25,7 @@ func pair(t *testing.T, p Params, rate0, rate1, delay float64) (*des.Engine, []*
 			func(v float64) int { return net.Broadcast(i, v) },
 			func(buf []int) []int { return g.AppendNeighbors(i, buf) })
 		net.SetHandler(i, func(m transport.Message) {
-			nodes[i].OnMessage(m.From, m.Payload.(float64))
+			nodes[i].OnMessage(m.From, m.Value)
 		})
 	}
 	return en, nodes

@@ -2,19 +2,15 @@ package sim
 
 import "testing"
 
-// BenchmarkRing256 seeds the performance trajectory: one full 256-node
-// ring simulation per iteration, including wiring, beacon traffic, and
-// skew sampling. Future PRs optimize against this number.
-func BenchmarkRing256(b *testing.B) {
-	cfg := Config{
-		N:        256,
-		Seed:     1,
-		Horizon:  10,
-		Rho:      0.01,
-		MaxDelay: 0.01,
-		Topology: TopologySpec{Kind: TopoRing},
-		Driver:   DriverSpec{Kind: DriveRandomWalk, Interval: 1},
-	}
+// The benchmark suite tracks the per-run cost of full scenarios — wiring,
+// beacon traffic, churn, and skew sampling included — across the workload
+// shapes the paper's evaluation sweeps: plain rings and grids at two
+// scales, the hub-heavy maximally-dynamic rotating star, and a
+// churn-heavy volatile overlay. `gcsim bench` runs the suite and emits
+// BENCH_<rev>.json for cross-PR tracking.
+
+func benchScenario(b *testing.B, cfg Config) {
+	b.Helper()
 	b.ReportAllocs()
 	for b.Loop() {
 		rpt := Run(cfg)
@@ -22,4 +18,85 @@ func BenchmarkRing256(b *testing.B) {
 			b.Fatalf("skew %v exceeded bound %v", rpt.MaxGlobalSkew, rpt.Bound)
 		}
 	}
+}
+
+// BenchmarkRing256 seeds the performance trajectory: one full 256-node
+// ring simulation per iteration. PR-1 baseline: ~72.5ms/op, ~544k
+// allocs/op; the zero-allocation hot path PR took it to ~26ms/op, ~7k
+// allocs/op.
+func BenchmarkRing256(b *testing.B) {
+	benchScenario(b, Config{
+		N:        256,
+		Seed:     1,
+		Horizon:  10,
+		Rho:      0.01,
+		MaxDelay: 0.01,
+		Topology: TopologySpec{Kind: TopoRing},
+		Driver:   DriverSpec{Kind: DriveRandomWalk, Interval: 1},
+	})
+}
+
+// BenchmarkRing1024 scales the ring 4x to expose superlinear costs
+// (diameter-dependent bound computation, heap depth).
+func BenchmarkRing1024(b *testing.B) {
+	benchScenario(b, Config{
+		N:        1024,
+		Seed:     1,
+		Horizon:  10,
+		Rho:      0.01,
+		MaxDelay: 0.01,
+		Topology: TopologySpec{Kind: TopoRing},
+		Driver:   DriverSpec{Kind: DriveRandomWalk, Interval: 1},
+	})
+}
+
+// BenchmarkGrid1024 runs a 32x32 torus-free grid: 4x the ring's edge
+// density per node, a much smaller diameter, and heavier broadcast
+// fan-out per beacon.
+func BenchmarkGrid1024(b *testing.B) {
+	benchScenario(b, Config{
+		N:        1024,
+		Seed:     1,
+		Horizon:  10,
+		Rho:      0.01,
+		MaxDelay: 0.01,
+		Topology: TopologySpec{Kind: TopoGrid, W: 32, H: 32},
+		Driver:   DriverSpec{Kind: DriveRandomWalk, Interval: 1},
+	})
+}
+
+// BenchmarkRotatingStar256 is the hub-heavy, maximally dynamic workload:
+// every rotation tears down and rebuilds n-1 edges, dropping beacons in
+// flight, and the hub's broadcast fans out to all other nodes.
+func BenchmarkRotatingStar256(b *testing.B) {
+	benchScenario(b, Config{
+		N:        256,
+		Seed:     1,
+		Horizon:  10,
+		Rho:      0.01,
+		MaxDelay: 0.01,
+		Driver:   DriverSpec{Kind: DriveRandomWalk, Interval: 1},
+		Churn:    ChurnSpec{Kind: ChurnRotatingStar, Period: 2, Overlap: 0.5},
+	})
+}
+
+// BenchmarkVolatileChurn512 is the churn-heavy workload: a 512-node ring
+// backbone with 256 volatile overlay edges flapping on exponential
+// timers, exercising the in-flight drop path and slot reuse.
+func BenchmarkVolatileChurn512(b *testing.B) {
+	benchScenario(b, Config{
+		N:        512,
+		Seed:     1,
+		Horizon:  10,
+		Rho:      0.01,
+		MaxDelay: 0.01,
+		Topology: TopologySpec{Kind: TopoRing},
+		Driver:   DriverSpec{Kind: DriveRandomWalk, Interval: 1},
+		Churn: ChurnSpec{
+			Kind:       ChurnVolatile,
+			Lifetime:   1.5,
+			Absence:    1.0,
+			ExtraEdges: 256,
+		},
+	})
 }

@@ -55,6 +55,15 @@ type Simulation struct {
 
 	report      SkewReport
 	lastSampleT float64
+	// initialEdges is the backbone edge set materialized once in New and
+	// reused by the churner setup (Topology.Edges is O(n) or worse, so it
+	// must not be recomputed per consumer).
+	initialEdges []dyngraph.Edge
+	// vals is the reused logical-clock sample buffer; edgeFn is the
+	// long-lived per-edge observer closure. Both exist so that observe
+	// allocates nothing per sample.
+	vals   []float64
+	edgeFn func(dyngraph.Edge)
 }
 
 // New wires a simulation from the config without running it.
@@ -72,14 +81,24 @@ func New(cfg Config) *Simulation {
 		transport.UniformDelay(cfg.MaxDelay, root.Fork(0xde1a9)), cfg.MaxDelay)
 
 	s := &Simulation{
-		Cfg:    cfg,
-		Engine: en,
-		Graph:  g,
-		Net:    net,
-		Clocks: make([]*clock.HardwareClock, cfg.N),
-		Nodes:  make([]*gcs.Node, cfg.N),
+		Cfg:          cfg,
+		Engine:       en,
+		Graph:        g,
+		Net:          net,
+		Clocks:       make([]*clock.HardwareClock, cfg.N),
+		Nodes:        make([]*gcs.Node, cfg.N),
+		initialEdges: initial,
+		vals:         make([]float64, cfg.N),
+	}
+	s.edgeFn = func(e dyngraph.Edge) {
+		if d := math.Abs(s.vals[e.U] - s.vals[e.V]); d > s.report.MaxAdjacentSkew {
+			s.report.MaxAdjacentSkew = d
+		}
 	}
 
+	onMessage := func(m transport.Message) {
+		s.Nodes[m.To].OnMessage(m.From, m.Value)
+	}
 	driveRand := root.Fork(0xd81fe)
 	for i := 0; i < cfg.N; i++ {
 		i := i
@@ -88,9 +107,7 @@ func New(cfg Config) *Simulation {
 		s.Nodes[i] = gcs.New(i, hw, cfg.Node,
 			func(v float64) int { return net.Broadcast(i, v) },
 			func(buf []int) []int { return g.AppendNeighbors(i, buf) })
-		net.SetHandler(i, func(m transport.Message) {
-			s.Nodes[m.To].OnMessage(m.From, m.Payload.(float64))
-		})
+		net.SetHandler(i, onMessage)
 		cfg.Driver.build(i, cfg.Rho, driveRand).Install(en, hw)
 	}
 
@@ -127,10 +144,11 @@ func (s *Simulation) churner(root *des.Rand) dyngraph.Churner {
 }
 
 // volatileCandidates draws ExtraEdges distinct random edges that are not
-// part of the static backbone.
+// part of the static backbone (the initial edge set already materialized
+// in New).
 func (s *Simulation) volatileCandidates(r *des.Rand) []dyngraph.Edge {
 	backbone := map[dyngraph.Edge]bool{}
-	for _, e := range s.Cfg.Topology.Edges(s.Cfg.N) {
+	for _, e := range s.initialEdges {
 		backbone[e] = true
 	}
 	seen := map[dyngraph.Edge]bool{}
@@ -151,13 +169,14 @@ func (s *Simulation) volatileCandidates(r *des.Rand) []dyngraph.Edge {
 	return out
 }
 
-// observe records one skew sample at the engine's current time.
+// observe records one skew sample at the engine's current time. It
+// reuses the simulation's sample buffer and edge observer, so sampling
+// allocates nothing.
 func (s *Simulation) observe() {
 	lo, hi := math.Inf(1), math.Inf(-1)
-	vals := make([]float64, s.Cfg.N)
 	for i, nd := range s.Nodes {
 		l := nd.Logical()
-		vals[i] = l
+		s.vals[i] = l
 		if l < lo {
 			lo = l
 		}
@@ -168,11 +187,9 @@ func (s *Simulation) observe() {
 	if spread := hi - lo; spread > s.report.MaxGlobalSkew {
 		s.report.MaxGlobalSkew = spread
 	}
-	for _, e := range s.Graph.CurrentEdges() {
-		if d := math.Abs(vals[e.U] - vals[e.V]); d > s.report.MaxAdjacentSkew {
-			s.report.MaxAdjacentSkew = d
-		}
-	}
+	// Max over edges is order-independent, so the unordered allocation-free
+	// iteration is deterministic in its result.
+	s.Graph.RangeCurrentEdges(s.edgeFn)
 	s.report.FinalGlobalSkew = hi - lo
 	s.report.Samples++
 	s.lastSampleT = s.Engine.Now()

@@ -9,6 +9,13 @@
 //
 // The layer subscribes to dyngraph topology events, so user code only
 // drives the graph; in-flight bookkeeping is automatic.
+//
+// The send/deliver path is allocation-free in steady state: payloads are
+// typed float64 values (the only payload the GCS model carries — a
+// logical clock reading — so no boxing through an interface), in-flight
+// messages live in a pooled arena indexed by small integers, the
+// per-edge in-flight table and the per-node handler table are
+// slice-backed, and Broadcast reuses one neighbor buffer per network.
 package transport
 
 import (
@@ -18,11 +25,12 @@ import (
 	"gcs/internal/dyngraph"
 )
 
-// Message is one point-to-point payload in flight or delivered.
+// Message is one point-to-point payload in flight or delivered. Value is
+// the sender's logical clock reading — the model's only message content.
 type Message struct {
 	From, To  int
 	Edge      dyngraph.Edge
-	Payload   any
+	Value     float64
 	SentAt    des.Time
 	DeliverAt des.Time
 }
@@ -69,10 +77,15 @@ type Stats struct {
 	Refused uint64
 }
 
-// flight is one in-flight message and the engine event that delivers it.
+// flight is one in-flight message, its delivery event, and its position
+// in the per-edge in-flight list. Flights live in the Network's arena
+// and are addressed by index, never by pointer, so recycling them costs
+// nothing.
 type flight struct {
-	msg Message
-	ev  *des.Event
+	msg  Message
+	ev   des.EventRef
+	slot int32 // edge slot owning this flight
+	pos  int32 // index within the slot's in-flight list
 }
 
 // Network is the bounded-delay transport over one dynamic graph. It is
@@ -82,9 +95,25 @@ type Network struct {
 	g        *dyngraph.Dynamic
 	maxDelay float64
 	delay    DelayFn
-	handlers map[int]Handler
-	inflight map[dyngraph.Edge][]*flight
-	stats    Stats
+	// handlers is indexed by node id.
+	handlers []Handler
+	// edgeSlot assigns each edge currently carrying traffic a slot in
+	// slots; slots[slot] lists the arena indices of the flights in flight
+	// on that edge. Removing an edge recycles its slot through freeSlots
+	// (keeping the list's capacity), so the table is bounded by the live
+	// edge count even when churn eventually touches every node pair.
+	edgeSlot  map[dyngraph.Edge]int32
+	slots     [][]uint32
+	freeSlots []int32
+	// flights is the arena; freeFlights lists recycled indices.
+	flights     []flight
+	freeFlights []uint32
+	// deliverFn is the single engine callback backing every delivery;
+	// the event arg is the flight's arena index.
+	deliverFn des.ArgHandler
+	// nbuf is the reused Broadcast neighbor buffer.
+	nbuf  []int
+	stats Stats
 }
 
 // New creates a transport over g with the given delay law and bound, and
@@ -101,9 +130,10 @@ func New(en *des.Engine, g *dyngraph.Dynamic, delay DelayFn, maxDelay float64) *
 		g:        g,
 		maxDelay: maxDelay,
 		delay:    delay,
-		handlers: make(map[int]Handler),
-		inflight: make(map[dyngraph.Edge][]*flight),
+		handlers: make([]Handler, g.N()),
+		edgeSlot: make(map[dyngraph.Edge]int32),
 	}
+	n.deliverFn = func(arg uint64) { n.deliver(uint32(arg)) }
 	g.Subscribe(n)
 	return n
 }
@@ -120,73 +150,112 @@ func (n *Network) Stats() Stats { return n.stats }
 func (n *Network) SetHandler(u int, h Handler) { n.handlers[u] = h }
 
 // InFlight returns the number of messages currently in flight on e.
-func (n *Network) InFlight(e dyngraph.Edge) int { return len(n.inflight[e]) }
+func (n *Network) InFlight(e dyngraph.Edge) int {
+	slot, ok := n.edgeSlot[e]
+	if !ok {
+		return 0
+	}
+	return len(n.slots[slot])
+}
 
-// Send transmits payload from one endpoint of a present edge to the
-// other. It reports whether the message was accepted; a send over an
-// absent edge is refused (the model has no way to transmit without an
-// edge).
-func (n *Network) Send(from, to int, payload any) bool {
+// Send transmits value from one endpoint of a present edge to the other.
+// It reports whether the message was accepted; a send over an absent
+// edge is refused (the model has no way to transmit without an edge).
+func (n *Network) Send(from, to int, value float64) bool {
 	e := dyngraph.E(from, to)
 	if !n.g.Present(e) {
 		n.stats.Refused++
 		return false
 	}
 	now := n.en.Now()
-	f := &flight{msg: Message{
-		From:    from,
-		To:      to,
-		Edge:    e,
-		Payload: payload,
-		SentAt:  now,
-	}}
+	fi := n.allocFlight()
+	f := &n.flights[fi]
+	f.msg = Message{
+		From:   from,
+		To:     to,
+		Edge:   e,
+		Value:  value,
+		SentAt: now,
+	}
 	d := n.delay(&f.msg)
 	if d <= 0 || d > n.maxDelay {
 		panic(fmt.Sprintf("transport: delay %v outside (0, %v]", d, n.maxDelay))
 	}
 	f.msg.DeliverAt = now + d
-	f.ev = n.en.Schedule(f.msg.DeliverAt, "transport.deliver", func() {
-		n.deliver(f)
-	})
-	n.inflight[e] = append(n.inflight[e], f)
+	f.ev = n.en.ScheduleArg(f.msg.DeliverAt, "transport.deliver", n.deliverFn, uint64(fi))
+	slot := n.slotFor(e)
+	f.slot = slot
+	f.pos = int32(len(n.slots[slot]))
+	n.slots[slot] = append(n.slots[slot], fi)
 	n.stats.Sent++
 	return true
 }
 
-// Broadcast sends payload from u to every current neighbor, in ascending
-// neighbor order, and returns the number of messages sent.
-func (n *Network) Broadcast(from int, payload any) int {
+// Broadcast sends value from u to every current neighbor, in ascending
+// neighbor order, and returns the number of messages sent. It reuses one
+// per-network neighbor buffer, so it must not be called reentrantly from
+// inside another Broadcast's send loop (deliveries happen later, from
+// engine events, so handlers may broadcast freely).
+func (n *Network) Broadcast(from int, value float64) int {
+	n.nbuf = n.g.AppendNeighbors(from, n.nbuf[:0])
 	sent := 0
-	for _, v := range n.g.Neighbors(from) {
-		if n.Send(from, v, payload) {
+	for _, v := range n.nbuf {
+		if n.Send(from, v, value) {
 			sent++
 		}
 	}
 	return sent
 }
 
-func (n *Network) deliver(f *flight) {
-	n.forget(f)
-	n.stats.Delivered++
-	if h := n.handlers[f.msg.To]; h != nil {
-		h(f.msg)
+// allocFlight returns a free arena index, growing the arena if the free
+// list is empty.
+func (n *Network) allocFlight() uint32 {
+	if k := len(n.freeFlights); k > 0 {
+		fi := n.freeFlights[k-1]
+		n.freeFlights = n.freeFlights[:k-1]
+		return fi
 	}
+	n.flights = append(n.flights, flight{})
+	return uint32(len(n.flights) - 1)
 }
 
-// forget removes f from its edge's in-flight list.
-func (n *Network) forget(f *flight) {
-	fs := n.inflight[f.msg.Edge]
-	for i, g := range fs {
-		if g == f {
-			fs[i] = fs[len(fs)-1]
-			fs = fs[:len(fs)-1]
-			break
+// slotFor returns e's slot, assigning one (recycled if possible) on
+// first use since the edge last appeared.
+func (n *Network) slotFor(e dyngraph.Edge) int32 {
+	slot, ok := n.edgeSlot[e]
+	if !ok {
+		if k := len(n.freeSlots); k > 0 {
+			slot = n.freeSlots[k-1]
+			n.freeSlots = n.freeSlots[:k-1]
+		} else {
+			slot = int32(len(n.slots))
+			n.slots = append(n.slots, nil)
 		}
+		n.edgeSlot[e] = slot
 	}
-	if len(fs) == 0 {
-		delete(n.inflight, f.msg.Edge)
-	} else {
-		n.inflight[f.msg.Edge] = fs
+	return slot
+}
+
+// deliver hands flight fi's message to the destination handler and
+// recycles the flight. The flight is released before the handler runs,
+// so the handler may send new messages that reuse it.
+func (n *Network) deliver(fi uint32) {
+	f := &n.flights[fi]
+	// Unlink from the edge's in-flight list: swap-remove, fixing the
+	// moved flight's position.
+	list := n.slots[f.slot]
+	last := len(list) - 1
+	moved := list[last]
+	list[f.pos] = moved
+	n.flights[moved].pos = f.pos
+	n.slots[f.slot] = list[:last]
+
+	msg := f.msg
+	f.ev = des.EventRef{}
+	n.freeFlights = append(n.freeFlights, fi)
+	n.stats.Delivered++
+	if h := n.handlers[msg.To]; h != nil {
+		h(msg)
 	}
 }
 
@@ -199,9 +268,21 @@ func (n *Network) EdgeAdded(t float64, e dyngraph.Edge) {}
 // the removed edge is lost (the paper's model drops messages whose edge
 // disappears before delivery).
 func (n *Network) EdgeRemoved(t float64, e dyngraph.Edge) {
-	for _, f := range n.inflight[e] {
+	slot, ok := n.edgeSlot[e]
+	if !ok {
+		return
+	}
+	list := n.slots[slot]
+	for _, fi := range list {
+		f := &n.flights[fi]
 		n.en.Cancel(f.ev)
+		f.ev = des.EventRef{}
+		n.freeFlights = append(n.freeFlights, fi)
 		n.stats.Dropped++
 	}
-	delete(n.inflight, e)
+	// Recycle the slot: all its flights are gone, and the edge must be
+	// re-added before it can carry traffic again.
+	n.slots[slot] = list[:0]
+	delete(n.edgeSlot, e)
+	n.freeSlots = append(n.freeSlots, slot)
 }

@@ -36,7 +36,7 @@ func TestDeliveryWithinBound(t *testing.T) {
 	r := newRig(t, 2, []dyngraph.Edge{dyngraph.E(0, 1)}, UniformDelay(0.25, des.NewRand(7)), 0.25)
 	const sends = 200
 	for i := 0; i < sends; i++ {
-		if !r.net.Send(0, 1, i) {
+		if !r.net.Send(0, 1, float64(i)) {
 			t.Fatalf("send %d refused over present edge", i)
 		}
 	}
@@ -58,7 +58,7 @@ func TestDeliveryWithinBound(t *testing.T) {
 func TestInFlightMessageDroppedOnEdgeRemoval(t *testing.T) {
 	e := dyngraph.E(0, 1)
 	r := newRig(t, 2, []dyngraph.Edge{e}, FixedDelay(0.5), 1)
-	r.net.Send(0, 1, "doomed")
+	r.net.Send(0, 1, 1)
 	if r.net.InFlight(e) != 1 {
 		t.Fatalf("in flight = %d, want 1", r.net.InFlight(e))
 	}
@@ -78,7 +78,7 @@ func TestInFlightMessageDroppedOnEdgeRemoval(t *testing.T) {
 func TestReAddDoesNotResurrectMessage(t *testing.T) {
 	e := dyngraph.E(0, 1)
 	r := newRig(t, 2, []dyngraph.Edge{e}, FixedDelay(0.5), 1)
-	r.net.Send(0, 1, "doomed")
+	r.net.Send(0, 1, 13)
 	r.en.Schedule(0.1, "cut", func() { r.g.Remove(r.en.Now(), e) })
 	// Re-add well before the original delivery time of 0.5.
 	r.en.Schedule(0.2, "heal", func() { r.g.Add(r.en.Now(), e) })
@@ -87,9 +87,9 @@ func TestReAddDoesNotResurrectMessage(t *testing.T) {
 		t.Fatalf("dropped message resurrected by edge re-add: %v", r.got[1])
 	}
 	// The healed edge carries fresh traffic normally.
-	r.net.Send(0, 1, "fresh")
+	r.net.Send(0, 1, 42)
 	r.en.Run(10)
-	if len(r.got[1]) != 1 || r.got[1][0].Payload != "fresh" {
+	if len(r.got[1]) != 1 || r.got[1][0].Value != 42 {
 		t.Fatalf("fresh message not delivered after re-add: %v", r.got[1])
 	}
 	if s := r.net.Stats(); s.Dropped != 1 || s.Delivered != 1 {
@@ -100,22 +100,22 @@ func TestReAddDoesNotResurrectMessage(t *testing.T) {
 func TestFIFOForEqualDelays(t *testing.T) {
 	r := newRig(t, 2, []dyngraph.Edge{dyngraph.E(0, 1)}, FixedDelay(0.25), 1)
 	for i := 0; i < 20; i++ {
-		r.net.Send(0, 1, i)
+		r.net.Send(0, 1, float64(i))
 	}
 	r.en.Run(5)
 	if len(r.got[1]) != 20 {
 		t.Fatalf("delivered %d, want 20", len(r.got[1]))
 	}
 	for i, m := range r.got[1] {
-		if m.Payload != i {
-			t.Fatalf("delivery %d carried %v; FIFO order violated", i, m.Payload)
+		if m.Value != float64(i) {
+			t.Fatalf("delivery %d carried %v; FIFO order violated", i, m.Value)
 		}
 	}
 }
 
 func TestSendOverAbsentEdgeRefused(t *testing.T) {
 	r := newRig(t, 3, []dyngraph.Edge{dyngraph.E(0, 1)}, FixedDelay(0.1), 1)
-	if r.net.Send(0, 2, "void") {
+	if r.net.Send(0, 2, 0) {
 		t.Fatal("send over absent edge accepted")
 	}
 	if s := r.net.Stats(); s.Refused != 1 || s.Sent != 0 {
@@ -127,7 +127,7 @@ func TestBroadcastReachesCurrentNeighborsOnly(t *testing.T) {
 	// Star around hub 0 over 5 nodes, with edge {0,3} missing.
 	edges := []dyngraph.Edge{dyngraph.E(0, 1), dyngraph.E(0, 2), dyngraph.E(0, 4)}
 	r := newRig(t, 5, edges, FixedDelay(0.1), 1)
-	if sent := r.net.Broadcast(0, "ping"); sent != 3 {
+	if sent := r.net.Broadcast(0, 1); sent != 3 {
 		t.Fatalf("broadcast sent %d, want 3", sent)
 	}
 	r.en.Run(1)
@@ -140,7 +140,7 @@ func TestBroadcastReachesCurrentNeighborsOnly(t *testing.T) {
 		t.Fatal("non-neighbor 3 received a broadcast")
 	}
 	// Leaf broadcast goes only to the hub.
-	if sent := r.net.Broadcast(1, "pong"); sent != 1 {
+	if sent := r.net.Broadcast(1, 2); sent != 1 {
 		t.Fatalf("leaf broadcast sent %d, want 1", sent)
 	}
 }
@@ -149,8 +149,8 @@ func TestPartialDropOnOneEdge(t *testing.T) {
 	// Two edges from 0; only one is cut, only its traffic is lost.
 	e1, e2 := dyngraph.E(0, 1), dyngraph.E(0, 2)
 	r := newRig(t, 3, []dyngraph.Edge{e1, e2}, FixedDelay(0.5), 1)
-	r.net.Send(0, 1, "a")
-	r.net.Send(0, 2, "b")
+	r.net.Send(0, 1, 1)
+	r.net.Send(0, 2, 2)
 	r.en.Schedule(0.2, "cut", func() { r.g.Remove(r.en.Now(), e1) })
 	r.en.Run(5)
 	if len(r.got[1]) != 0 {
@@ -158,5 +158,63 @@ func TestPartialDropOnOneEdge(t *testing.T) {
 	}
 	if len(r.got[2]) != 1 {
 		t.Fatal("message on surviving edge lost")
+	}
+}
+
+func TestFlightPoolReuseAfterDrops(t *testing.T) {
+	e := dyngraph.E(0, 1)
+	r := newRig(t, 2, []dyngraph.Edge{e}, FixedDelay(0.5), 1)
+	// Repeatedly fill the edge with in-flight traffic, cut it (dropping
+	// everything), heal it, and send again: recycled flights must carry
+	// fresh messages with no cross-talk from dropped ones.
+	for round := 0; round < 5; round++ {
+		base := r.en.Now()
+		for i := 0; i < 10; i++ {
+			r.net.Send(0, 1, float64(round*100+i))
+		}
+		r.en.Schedule(base+0.1, "cut", func() { r.g.Remove(r.en.Now(), e) })
+		r.en.Schedule(base+0.2, "heal", func() { r.g.Add(r.en.Now(), e) })
+		r.en.Run(base + 0.3)
+	}
+	r.en.Run(100)
+	s := r.net.Stats()
+	if s.Dropped != 50 || s.Delivered != 0 {
+		t.Fatalf("stats = %+v, want 50 dropped and 0 delivered", s)
+	}
+	// Survivor traffic over the healed edge delivers the right values.
+	for i := 0; i < 10; i++ {
+		r.net.Send(0, 1, float64(1000+i))
+	}
+	r.en.Run(200)
+	if len(r.got[1]) != 10 {
+		t.Fatalf("delivered %d after heal, want 10", len(r.got[1]))
+	}
+	for i, m := range r.got[1] {
+		if m.Value != float64(1000+i) {
+			t.Fatalf("delivery %d carried %v, want %v", i, m.Value, 1000+i)
+		}
+	}
+	if r.net.InFlight(e) != 0 {
+		t.Fatalf("in-flight leaked: %d", r.net.InFlight(e))
+	}
+}
+
+// The send/deliver hot path must not allocate once arenas are warm: this
+// is the tentpole property the benchmark numbers rest on.
+func TestSendSteadyStateDoesNotAllocate(t *testing.T) {
+	en := des.NewEngine()
+	g := dyngraph.NewDynamic(2, []dyngraph.Edge{dyngraph.E(0, 1)})
+	net := New(en, g, FixedDelay(0.1), 1)
+	// Warm up the flight arena, event pool, and slot lists.
+	for i := 0; i < 64; i++ {
+		net.Send(0, 1, float64(i))
+	}
+	en.Run(64)
+	allocs := testing.AllocsPerRun(200, func() {
+		net.Broadcast(0, 1)
+		en.Run(en.Now() + 1)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state broadcast+deliver allocated %v objects/op, want 0", allocs)
 	}
 }
