@@ -11,20 +11,35 @@
 // a BENCH_<rev>.json snapshot for cross-PR performance tracking:
 //
 //	go run ./cmd/gcsim bench -bench . -benchtime 1x -out .
+//
+// The `lowerbound` subcommand runs the Theorem 4.1 adversarial scenario
+// (two chains, layered rate schedules, asymmetric delay mask) over a
+// sweep of node counts, demonstrating the Omega(n) global skew, and
+// dumps the skew time series as CSV plus a JSON report for plotting:
+//
+//	go run ./cmd/gcsim lowerbound -n 32,64,128,256 -out .
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"gcs/internal/des"
 	"gcs/internal/sim"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "bench" {
-		runBench(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "bench":
+			runBench(os.Args[2:])
+			return
+		case "lowerbound":
+			runLowerBound(os.Args[2:])
+			return
+		}
 	}
 	runScenario()
 }
@@ -36,7 +51,7 @@ func runScenario() {
 		horizon = flag.Float64("horizon", 30, "simulated seconds to run")
 		rho     = flag.Float64("rho", 0.01, "hardware clock drift bound")
 		delay   = flag.Float64("delay", 0.01, "message delay bound (seconds)")
-		topo    = flag.String("topo", "ring", "topology: line|ring|star|grid|complete")
+		topo    = flag.String("topo", "ring", "topology: line|ring|star|grid|complete|twochains")
 		gridW   = flag.Int("grid-w", 0, "grid width (topo=grid; 0 = square)")
 		driver  = flag.String("driver", "randomwalk", "clock driver: constant|randomwalk|bangbang")
 		intv    = flag.Float64("interval", 1, "driver rate-change interval")
@@ -48,6 +63,7 @@ func runScenario() {
 		extra   = flag.Int("extra-edges", 10, "volatile candidate edge count")
 		beacon  = flag.Float64("beacon", 0.1, "beacon interval (hardware time)")
 		sample  = flag.Float64("sample", 0.1, "skew sampling period (real time)")
+		events  = flag.Bool("events", false, "print a per-label event breakdown (via the DES trace hook)")
 	)
 	flag.Parse()
 
@@ -82,6 +98,8 @@ func runScenario() {
 		cfg.Topology = sim.TopologySpec{Kind: sim.TopoGrid, W: w, H: *n / w}
 	case "complete":
 		cfg.Topology.Kind = sim.TopoComplete
+	case "twochains":
+		cfg.Topology.Kind = sim.TopoTwoChains
 	default:
 		fail("unknown topology %q", *topo)
 	}
@@ -111,7 +129,15 @@ func runScenario() {
 		fail("unknown churn %q", *churn)
 	}
 
-	rpt := sim.Run(cfg)
+	s := sim.New(cfg)
+	var eventCounts map[string]uint64
+	if *events {
+		eventCounts = map[string]uint64{}
+		s.Engine.SetTraceHook(func(_ des.Time, label string) {
+			eventCounts[label]++
+		})
+	}
+	rpt := s.Run()
 	// Report the effective configuration: WithDefaults treats zero-valued
 	// fields (e.g. -rho 0) as unset and fills them in.
 	eff := cfg.WithDefaults()
@@ -126,6 +152,23 @@ func runScenario() {
 		rpt.EventsExecuted, rpt.TotalBeacons, rpt.TotalJumps, rpt.EdgeAdds, rpt.EdgeRemoves, rpt.Samples)
 	fmt.Printf("drift:    ratesSeen=[%.6f, %.6f] allowed=[%.6f, %.6f]\n",
 		rpt.MinRateSeen, rpt.MaxRateSeen, 1-eff.Rho, 1+eff.Rho)
+
+	if *events {
+		labels := make([]string, 0, len(eventCounts))
+		for l := range eventCounts {
+			labels = append(labels, l)
+		}
+		sort.Slice(labels, func(i, j int) bool {
+			if eventCounts[labels[i]] != eventCounts[labels[j]] {
+				return eventCounts[labels[i]] > eventCounts[labels[j]]
+			}
+			return labels[i] < labels[j]
+		})
+		fmt.Println("events by label:")
+		for _, l := range labels {
+			fmt.Printf("  %-24s %d\n", l, eventCounts[l])
+		}
+	}
 
 	if rpt.MaxGlobalSkew > rpt.Bound {
 		fail("VIOLATION: max global skew %v exceeds analytic bound %v", rpt.MaxGlobalSkew, rpt.Bound)

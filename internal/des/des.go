@@ -39,6 +39,14 @@ type Handler func()
 // schedulers on hot paths do not allocate a closure per event.
 type ArgHandler func(arg uint64)
 
+// TraceFn observes event firings. It is called once per fired event,
+// immediately before the event's callback runs, with the event's time
+// and debug label. Cancelled events are never traced. The hook sits on
+// the kernel's hottest path, so implementations must not allocate;
+// recorders (e.g. the sim layer's time-series tracing) write into
+// pre-sized ring buffers.
+type TraceFn func(t Time, label string)
+
 // Event is a scheduled occurrence in the simulation. Events are owned by
 // the engine and recycled after they fire or are cancelled; user code
 // only ever holds EventRef handles.
@@ -96,6 +104,8 @@ type Engine struct {
 	executed uint64
 	// stopped is set by Stop to end Run early.
 	stopped bool
+	// trace, when non-nil, observes every fired event.
+	trace TraceFn
 }
 
 // NewEngine returns an engine positioned at time 0 with an empty queue.
@@ -109,6 +119,11 @@ func (en *Engine) Now() Time { return en.now }
 
 // Executed returns the number of events that have fired so far.
 func (en *Engine) Executed() uint64 { return en.executed }
+
+// SetTraceHook installs fn as the engine's event tracer (nil removes
+// it). The hook fires for every executed event, before its callback;
+// see TraceFn for the contract.
+func (en *Engine) SetTraceHook(fn TraceFn) { en.trace = fn }
 
 // Pending returns the number of events in the queue. Cancelled events are
 // removed eagerly, so every counted event will fire unless cancelled
@@ -202,6 +217,9 @@ func (en *Engine) fire(e *Event) {
 	en.now = e.t
 	en.executed++
 	fn, afn, arg := e.fn, e.afn, e.arg
+	if en.trace != nil {
+		en.trace(e.t, e.label)
+	}
 	en.release(e)
 	if afn != nil {
 		afn(arg)

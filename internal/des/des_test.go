@@ -509,3 +509,49 @@ func TestRandIntnPanics(t *testing.T) {
 	}()
 	r.Intn(0)
 }
+
+func TestTraceHookObservesFiredEventsOnly(t *testing.T) {
+	en := NewEngine()
+	type obs struct {
+		t     Time
+		label string
+	}
+	var traced []obs
+	en.SetTraceHook(func(tm Time, label string) {
+		traced = append(traced, obs{tm, label})
+	})
+	en.Schedule(1, "first", func() {})
+	cancelled := en.Schedule(2, "cancelled", func() {})
+	en.Schedule(3, "second", func() {
+		// Events scheduled and fired during the run are traced too.
+		en.ScheduleAfter(1, "nested", func() {})
+	})
+	en.Cancel(cancelled)
+	en.Run(10)
+	want := []obs{{1, "first"}, {3, "second"}, {4, "nested"}}
+	if len(traced) != len(want) {
+		t.Fatalf("traced %v, want %v", traced, want)
+	}
+	for i := range want {
+		if traced[i] != want[i] {
+			t.Fatalf("traced %v, want %v", traced, want)
+		}
+	}
+	if got := en.Executed(); got != uint64(len(want)) {
+		t.Fatalf("executed %d, traced %d — hook out of sync", got, len(want))
+	}
+}
+
+func TestTraceHookRemoval(t *testing.T) {
+	en := NewEngine()
+	calls := 0
+	en.SetTraceHook(func(Time, string) { calls++ })
+	en.Schedule(1, "a", func() {})
+	en.Run(1)
+	en.SetTraceHook(nil)
+	en.Schedule(2, "b", func() {})
+	en.Run(2)
+	if calls != 1 {
+		t.Fatalf("hook called %d times, want 1 (removal ignored?)", calls)
+	}
+}

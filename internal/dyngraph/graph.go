@@ -46,6 +46,7 @@ func (e Edge) Other(x int) int {
 // Has reports whether x is an endpoint of e.
 func (e Edge) Has(x int) bool { return e.U == x || e.V == x }
 
+// String renders the edge as its unordered pair.
 func (e Edge) String() string { return fmt.Sprintf("{%d,%d}", e.U, e.V) }
 
 // Interval is a half-open presence interval [Start, End). End is +Inf

@@ -23,8 +23,14 @@ const (
 	TopoStar
 	TopoGrid
 	TopoComplete
+	// TopoTwoChains is the Theorem 4.1 / Figure 1 lower-bound network:
+	// two parallel chains sharing their endpoint nodes 0 and n-1 (see
+	// dyngraph.NewTwoChains). The LowerBound scenario layers adversarial
+	// rate schedules and delay masks over it.
+	TopoTwoChains
 )
 
+// String returns the kind's scenario-table name.
 func (k TopologyKind) String() string {
 	switch k {
 	case TopoLine:
@@ -37,6 +43,8 @@ func (k TopologyKind) String() string {
 		return "Grid"
 	case TopoComplete:
 		return "Complete"
+	case TopoTwoChains:
+		return "TwoChains"
 	}
 	return fmt.Sprintf("TopologyKind(%d)", int(k))
 }
@@ -64,6 +72,8 @@ func (s TopologySpec) Edges(n int) []dyngraph.Edge {
 		return dyngraph.Grid(s.W, s.H)
 	case TopoComplete:
 		return dyngraph.Complete(n)
+	case TopoTwoChains:
+		return dyngraph.NewTwoChains(n).Edges
 	}
 	panic(fmt.Sprintf("sim: unknown topology kind %d", s.Kind))
 }
@@ -77,6 +87,7 @@ const (
 	DriveBangBang
 )
 
+// String returns the kind's scenario-table name.
 func (k DriverKind) String() string {
 	switch k {
 	case DriveConstant:
@@ -126,6 +137,7 @@ const (
 	ChurnRotatingStar
 )
 
+// String returns the kind's scenario-table name.
 func (k ChurnKind) String() string {
 	switch k {
 	case ChurnNone:

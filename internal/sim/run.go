@@ -64,6 +64,10 @@ type Simulation struct {
 	// allocates nothing per sample.
 	vals   []float64
 	edgeFn func(dyngraph.Edge)
+	// trace, when non-nil, receives one row of logical values per sample.
+	trace *TraceRecorder
+	// started records whether the periodic sampler has been installed.
+	started bool
 }
 
 // New wires a simulation from the config without running it.
@@ -169,6 +173,14 @@ func (s *Simulation) volatileCandidates(r *des.Rand) []dyngraph.Edge {
 	return out
 }
 
+// AttachTrace registers tr to receive one (time, per-node logical
+// values) row per skew sample. tr is reset to the scenario's node count;
+// call before the simulation runs.
+func (s *Simulation) AttachTrace(tr *TraceRecorder) {
+	tr.Reset(s.Cfg.N)
+	s.trace = tr
+}
+
 // observe records one skew sample at the engine's current time. It
 // reuses the simulation's sample buffer and edge observer, so sampling
 // allocates nothing.
@@ -187,6 +199,9 @@ func (s *Simulation) observe() {
 	if spread := hi - lo; spread > s.report.MaxGlobalSkew {
 		s.report.MaxGlobalSkew = spread
 	}
+	if s.trace != nil {
+		s.trace.Record(s.Engine.Now(), s.vals)
+	}
 	// Max over edges is order-independent, so the unordered allocation-free
 	// iteration is deterministic in its result.
 	s.Graph.RangeCurrentEdges(s.edgeFn)
@@ -195,17 +210,26 @@ func (s *Simulation) observe() {
 	s.lastSampleT = s.Engine.Now()
 }
 
+// Advance runs the execution up to real time t, installing the periodic
+// skew sampler on first call. Tests step a live scenario through it; Run
+// drives it to the horizon and finalizes the report.
+func (s *Simulation) Advance(t float64) {
+	if !s.started {
+		s.started = true
+		var sample func()
+		sample = func() {
+			s.observe()
+			s.Engine.ScheduleAfter(s.Cfg.SampleEvery, "sim.sample", sample)
+		}
+		s.Engine.Schedule(s.Engine.Now(), "sim.sample", sample)
+	}
+	s.Engine.Run(t)
+}
+
 // Run executes the scenario to its horizon and returns the report.
 func (s *Simulation) Run() SkewReport {
 	cfg := s.Cfg
-	var sample func()
-	sample = func() {
-		s.observe()
-		s.Engine.ScheduleAfter(cfg.SampleEvery, "sim.sample", sample)
-	}
-	s.Engine.Schedule(0, "sim.sample", sample)
-
-	s.Engine.Run(cfg.Horizon)
+	s.Advance(cfg.Horizon)
 	// End-of-run state at exactly the horizon, unless the periodic
 	// sampler already landed there (Horizon a multiple of SampleEvery).
 	if s.report.Samples == 0 || s.lastSampleT < cfg.Horizon {

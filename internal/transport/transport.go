@@ -10,6 +10,11 @@
 // The layer subscribes to dyngraph topology events, so user code only
 // drives the graph; in-flight bookkeeping is automatic.
 //
+// Delays are drawn per message from a base DelayFn, optionally overridden
+// per directed edge by an EdgeDelayFn mask — the instrument of the
+// Section 4 adversary, which charges asymmetric delays across the
+// lower-bound network's two chains.
+//
 // The send/deliver path is allocation-free in steady state: payloads are
 // typed float64 values (the only payload the GCS model carries — a
 // logical clock reading — so no boxing through an interface), in-flight
@@ -65,6 +70,17 @@ func FixedDelay(d float64) DelayFn {
 	return func(*Message) float64 { return d }
 }
 
+// EdgeDelayFn is a per-edge adversarial delay mask. It is consulted once
+// per send with the directed pair (from, to) and returns the DelayFn to
+// charge for that message, or nil to fall back to the network's base
+// delay law. This is the adversary of the paper's Section 4 lower bound,
+// which charges the full maxDelay on the edges of one chain of the
+// two-chain network and a near-zero delay on the other. The mask runs on
+// the send hot path, so implementations must not allocate; returning
+// pre-built DelayFn values (e.g. FixedDelay closures created once at
+// wiring time) keeps the path allocation-free.
+type EdgeDelayFn func(from, to int) DelayFn
+
 // Stats counts transport activity over an execution.
 type Stats struct {
 	// Sent counts messages accepted for delivery.
@@ -95,6 +111,8 @@ type Network struct {
 	g        *dyngraph.Dynamic
 	maxDelay float64
 	delay    DelayFn
+	// mask, when non-nil, overrides delay per directed (from, to) pair.
+	mask EdgeDelayFn
 	// handlers is indexed by node id.
 	handlers []Handler
 	// edgeSlot assigns each edge currently carrying traffic a slot in
@@ -141,6 +159,15 @@ func New(en *des.Engine, g *dyngraph.Dynamic, delay DelayFn, maxDelay float64) *
 // MaxDelay returns the configured delay bound.
 func (n *Network) MaxDelay() float64 { return n.maxDelay }
 
+// SetDelayMask installs (or, with nil, removes) a per-edge delay mask.
+// While a mask is set, every send first asks mask(from, to) for a
+// DelayFn; a non-nil answer overrides the network's base delay law for
+// that message, a nil answer falls through to it. Masked delays are
+// subject to the same (0, maxDelay] validation as base delays, and
+// masked messages keep the usual in-flight semantics (in particular they
+// are still dropped if their edge disappears before delivery).
+func (n *Network) SetDelayMask(mask EdgeDelayFn) { n.mask = mask }
+
 // Stats returns the counters accumulated so far.
 func (n *Network) Stats() Stats { return n.stats }
 
@@ -177,7 +204,13 @@ func (n *Network) Send(from, to int, value float64) bool {
 		Value:  value,
 		SentAt: now,
 	}
-	d := n.delay(&f.msg)
+	delay := n.delay
+	if n.mask != nil {
+		if m := n.mask(from, to); m != nil {
+			delay = m
+		}
+	}
+	d := delay(&f.msg)
 	if d <= 0 || d > n.maxDelay {
 		panic(fmt.Sprintf("transport: delay %v outside (0, %v]", d, n.maxDelay))
 	}

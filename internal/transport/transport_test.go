@@ -199,6 +199,64 @@ func TestFlightPoolReuseAfterDrops(t *testing.T) {
 	}
 }
 
+func TestEdgeDelayMaskOverridesBase(t *testing.T) {
+	// Base delay 0.5; the mask charges 0.1, but only in the 0 -> 1
+	// direction, so the reverse direction falls through to the base law.
+	r := newRig(t, 2, []dyngraph.Edge{dyngraph.E(0, 1)}, FixedDelay(0.5), 1)
+	masked := FixedDelay(0.1)
+	r.net.SetDelayMask(func(from, to int) DelayFn {
+		if from == 0 && to == 1 {
+			return masked
+		}
+		return nil
+	})
+	r.net.Send(0, 1, 1)
+	r.net.Send(1, 0, 2)
+	r.en.Run(0.2)
+	if len(r.got[1]) != 1 {
+		t.Fatalf("masked 0->1 message not delivered at masked delay: got %v", r.got[1])
+	}
+	if d := r.got[1][0].DeliverAt - r.got[1][0].SentAt; d != 0.1 {
+		t.Fatalf("masked delay = %v, want 0.1", d)
+	}
+	if len(r.got[0]) != 0 {
+		t.Fatalf("unmasked 1->0 message arrived before base delay: %v", r.got[0])
+	}
+	r.en.Run(1)
+	if len(r.got[0]) != 1 {
+		t.Fatalf("unmasked message never delivered: %v", r.got[0])
+	}
+	if d := r.got[0][0].DeliverAt - r.got[0][0].SentAt; d != 0.5 {
+		t.Fatalf("unmasked delay = %v, want base 0.5", d)
+	}
+	// Removing the mask restores the base law in both directions.
+	r.net.SetDelayMask(nil)
+	r.net.Send(0, 1, 3)
+	r.en.Run(5)
+	if d := r.got[1][1].DeliverAt - r.got[1][1].SentAt; d != 0.5 {
+		t.Fatalf("delay after mask removal = %v, want base 0.5", d)
+	}
+}
+
+func TestMaskedInFlightMessageStillDroppedOnEdgeRemoval(t *testing.T) {
+	e := dyngraph.E(0, 1)
+	r := newRig(t, 2, []dyngraph.Edge{e}, FixedDelay(0.1), 1)
+	slow := FixedDelay(0.5)
+	r.net.SetDelayMask(func(from, to int) DelayFn { return slow })
+	r.net.Send(0, 1, 1)
+	r.en.Schedule(0.2, "cut", func() { r.g.Remove(r.en.Now(), e) })
+	r.en.Run(5)
+	if len(r.got[1]) != 0 {
+		t.Fatalf("masked message survived edge removal: %v", r.got[1])
+	}
+	if s := r.net.Stats(); s.Sent != 1 || s.Dropped != 1 || s.Delivered != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if r.net.InFlight(e) != 0 {
+		t.Fatalf("in-flight bookkeeping leaked: %d", r.net.InFlight(e))
+	}
+}
+
 // The send/deliver hot path must not allocate once arenas are warm: this
 // is the tentpole property the benchmark numbers rest on.
 func TestSendSteadyStateDoesNotAllocate(t *testing.T) {
@@ -216,5 +274,34 @@ func TestSendSteadyStateDoesNotAllocate(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Errorf("steady-state broadcast+deliver allocated %v objects/op, want 0", allocs)
+	}
+}
+
+// A delay mask sits on the same hot path, so masked sends must stay
+// allocation-free too (the lower-bound scenario sends every message
+// through its mask).
+func TestMaskedSendSteadyStateDoesNotAllocate(t *testing.T) {
+	en := des.NewEngine()
+	g := dyngraph.NewDynamic(2, []dyngraph.Edge{dyngraph.E(0, 1)})
+	net := New(en, g, FixedDelay(0.1), 1)
+	masked := FixedDelay(0.05)
+	net.SetDelayMask(func(from, to int) DelayFn {
+		if from < to {
+			return masked
+		}
+		return nil
+	})
+	for i := 0; i < 64; i++ {
+		net.Send(0, 1, float64(i))
+		net.Send(1, 0, float64(i))
+	}
+	en.Run(64)
+	allocs := testing.AllocsPerRun(200, func() {
+		net.Broadcast(0, 1)
+		net.Broadcast(1, 0)
+		en.Run(en.Now() + 1)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state masked broadcast+deliver allocated %v objects/op, want 0", allocs)
 	}
 }
