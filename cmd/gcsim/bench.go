@@ -19,12 +19,15 @@ import (
 func runBench(args []string) {
 	fs := flag.NewFlagSet("gcsim bench", flag.ExitOnError)
 	var (
-		pattern   = fs.String("bench", ".", "benchmark regexp passed to go test -bench")
-		benchtime = fs.String("benchtime", "", "go test -benchtime value (e.g. 1x, 2s); empty uses the go default")
-		count     = fs.Int("count", 1, "go test -count repetitions")
-		pkg       = fs.String("pkg", "./internal/sim", "package holding the benchmarks")
-		out       = fs.String("out", ".", "directory to write BENCH_<rev>.json into")
-		rev       = fs.String("rev", "", "revision tag for the snapshot name; default `git rev-parse --short HEAD`")
+		pattern    = fs.String("bench", ".", "benchmark regexp passed to go test -bench")
+		benchtime  = fs.String("benchtime", "", "go test -benchtime value (e.g. 1x, 2s); empty uses the go default")
+		count      = fs.Int("count", 1, "go test -count repetitions")
+		pkg        = fs.String("pkg", "./internal/sim", "package holding the benchmarks")
+		out        = fs.String("out", ".", "directory to write BENCH_<rev>.json into")
+		rev        = fs.String("rev", "", "revision tag for the snapshot name; default `git rev-parse --short HEAD`")
+		baseline   = fs.String("baseline", "", "committed BENCH_<rev>.json to gate against (empty: no gate)")
+		gate       = fs.String("gate", "BenchmarkRing256", "benchmark name the -baseline gate compares")
+		maxRegress = fs.Float64("max-regress", 0.25, "allowed fractional ns/op or allocs/op regression before the gate fails")
 	)
 	fs.Parse(args)
 
@@ -64,4 +67,15 @@ func runBench(args []string) {
 		fail("bench: %v", err)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(rep.Results))
+
+	if *baseline != "" {
+		base, err := bench.ReadFile(*baseline)
+		if err != nil {
+			fail("bench: %v", err)
+		}
+		if err := bench.Compare(base, rep, *gate, *maxRegress); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("ok: %s within %.0f%% of baseline %s\n", *gate, *maxRegress*100, base.Rev)
+	}
 }

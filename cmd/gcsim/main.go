@@ -39,6 +39,9 @@ func main() {
 		case "lowerbound":
 			runLowerBound(os.Args[2:])
 			return
+		case "gradient":
+			runGradient(os.Args[2:])
+			return
 		}
 	}
 	runScenario()

@@ -138,6 +138,49 @@ func (rep Report) WriteFile(dir string) (string, error) {
 	return path, nil
 }
 
+// Find returns the named result, or false if the report has none.
+func (rep Report) Find(name string) (Result, bool) {
+	for _, r := range rep.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// Compare gates one benchmark of current against baseline: it returns an
+// error if the named benchmark regressed by more than maxRegress
+// (fractional, e.g. 0.25 for 25%) in ns/op or in allocs/op, or if
+// either report is missing the benchmark. Allocation counts are only
+// compared when both snapshots report them.
+func Compare(baseline, current Report, name string, maxRegress float64) error {
+	if maxRegress < 0 {
+		return fmt.Errorf("bench: negative regression allowance %v", maxRegress)
+	}
+	base, ok := baseline.Find(name)
+	if !ok {
+		return fmt.Errorf("bench: baseline %s has no benchmark %q", baseline.Rev, name)
+	}
+	cur, ok := current.Find(name)
+	if !ok {
+		return fmt.Errorf("bench: current run has no benchmark %q", name)
+	}
+	if base.NsPerOp > 0 {
+		if ratio := cur.NsPerOp / base.NsPerOp; ratio > 1+maxRegress {
+			return fmt.Errorf("bench: %s ns/op regressed %.1f%% (%.0f -> %.0f, allowed %.0f%%)",
+				name, (ratio-1)*100, base.NsPerOp, cur.NsPerOp, maxRegress*100)
+		}
+	}
+	if base.AllocsPerOp >= 0 && cur.AllocsPerOp >= 0 {
+		// A zero-alloc baseline gates any regression: x/0 is +Inf.
+		if ratio := float64(cur.AllocsPerOp) / float64(base.AllocsPerOp); ratio > 1+maxRegress {
+			return fmt.Errorf("bench: %s allocs/op regressed %.1f%% (%d -> %d, allowed %.0f%%)",
+				name, (ratio-1)*100, base.AllocsPerOp, cur.AllocsPerOp, maxRegress*100)
+		}
+	}
+	return nil
+}
+
 // ReadFile loads a previously written snapshot.
 func ReadFile(path string) (Report, error) {
 	data, err := os.ReadFile(path)

@@ -85,3 +85,55 @@ func TestWriteFileRequiresRev(t *testing.T) {
 		t.Fatal("WriteFile accepted a report with no revision")
 	}
 }
+
+func compareReports(nsBase, nsCur float64, allocsBase, allocsCur int64) error {
+	base := Report{Rev: "base", Results: []Result{
+		{Name: "BenchmarkRing256", NsPerOp: nsBase, AllocsPerOp: allocsBase},
+	}}
+	cur := Report{Rev: "cur", Results: []Result{
+		{Name: "BenchmarkRing256", NsPerOp: nsCur, AllocsPerOp: allocsCur},
+	}}
+	return Compare(base, cur, "BenchmarkRing256", 0.25)
+}
+
+func TestCompareGate(t *testing.T) {
+	// Within the 25% allowance on both axes: passes.
+	if err := compareReports(1000, 1200, 7000, 8000); err != nil {
+		t.Fatalf("in-allowance comparison failed: %v", err)
+	}
+	// Improvements always pass.
+	if err := compareReports(1000, 500, 7000, 100); err != nil {
+		t.Fatalf("improvement flagged as regression: %v", err)
+	}
+	// ns/op past the allowance: fails.
+	if err := compareReports(1000, 1300, 7000, 7000); err == nil {
+		t.Fatal("30% ns/op regression passed the 25% gate")
+	}
+	// allocs/op past the allowance: fails even with flat ns/op.
+	if err := compareReports(1000, 1000, 7000, 10000); err == nil {
+		t.Fatal("allocs/op regression passed the gate")
+	}
+	// A baseline without alloc data gates on ns/op only.
+	if err := compareReports(1000, 1000, -1, 10000); err != nil {
+		t.Fatalf("missing baseline allocs should skip the alloc gate: %v", err)
+	}
+	// A genuine zero-alloc baseline still gates: any allocation is a
+	// regression, and staying at zero passes.
+	if err := compareReports(1000, 1000, 0, 1); err == nil {
+		t.Fatal("allocation regression from a zero-alloc baseline passed the gate")
+	}
+	if err := compareReports(1000, 1000, 0, 0); err != nil {
+		t.Fatalf("flat zero-alloc comparison failed: %v", err)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := Report{Rev: "base", Results: []Result{{Name: "BenchmarkRing256", NsPerOp: 1}}}
+	cur := Report{Rev: "cur", Results: []Result{{Name: "BenchmarkOther", NsPerOp: 1}}}
+	if err := Compare(base, cur, "BenchmarkRing256", 0.25); err == nil {
+		t.Fatal("Compare accepted a current report missing the gated benchmark")
+	}
+	if err := Compare(cur, base, "BenchmarkRing256", 0.25); err == nil {
+		t.Fatal("Compare accepted a baseline missing the gated benchmark")
+	}
+}

@@ -88,6 +88,10 @@ type Dynamic struct {
 	lastT float64
 	// counts for reporting
 	adds, removes int
+	// epoch increments on every effective Add/Remove, so consumers that
+	// derive state from the current edge set (e.g. DistanceMatrix) can
+	// cache it and revalidate with one integer compare.
+	epoch uint64
 }
 
 // NewDynamic creates a dynamic graph over n nodes with an initial edge
@@ -167,6 +171,7 @@ func (g *Dynamic) Add(t float64, e Edge) {
 	g.linkAdj(e)
 	g.hist[e] = append(g.hist[e], Interval{Start: t, End: math.Inf(1)})
 	g.adds++
+	g.epoch++
 	for _, s := range g.subs {
 		s.EdgeAdded(t, e)
 	}
@@ -186,6 +191,7 @@ func (g *Dynamic) Remove(t float64, e Edge) {
 	ivs := g.hist[e]
 	ivs[len(ivs)-1].End = t
 	g.removes++
+	g.epoch++
 	for _, s := range g.subs {
 		s.EdgeRemoved(t, e)
 	}
@@ -200,6 +206,11 @@ func (g *Dynamic) advance(t float64) {
 
 // Stats returns the number of add and remove events so far.
 func (g *Dynamic) Stats() (adds, removes int) { return g.adds, g.removes }
+
+// Epoch returns the topology-change generation: it increments on every
+// effective Add or Remove (no-ops excluded). Two equal Epoch readings
+// bracket an interval over which the current edge set did not change.
+func (g *Dynamic) Epoch() uint64 { return g.epoch }
 
 // Neighbors returns a copy of the nodes currently adjacent to u, sorted
 // ascending.

@@ -9,12 +9,16 @@
 //   - jumps forward to the largest remote clock estimate when that
 //     estimate exceeds L_u by more than JumpThreshold (with threshold 0
 //     this is the max-propagation rule that yields the global skew bound
-//     of O(maxDelay * D) per propagation hop), and
+//     of O(maxDelay * D) per propagation hop),
 //   - runs at the fast rate (1+Mu) times the hardware rate while some
 //     current neighbor is ahead by more than Kappa, so large local skew
 //     is caught up at the fast rate — the gradient property's catch-up
-//     rule (the paper's Section 5 algorithm uses the same two-regime
-//     structure).
+//     rule, with Kappa set by the Section 5 parameter schedule
+//     (KappaSchedule: the largest gap staleness alone can fabricate, as
+//     a function of Rho, Mu, MaxDelay, and BeaconEvery), and
+//   - beacons immediately over a fresh edge (OnEdgeAdded neighbor
+//     discovery) instead of waiting out the beacon period, which is what
+//     the catch-up argument assumes of nodes that become adjacent.
 //
 // Remote estimates are aged conservatively at (1-rho)/(1+rho) times the
 // local hardware rate: the source's logical clock is guaranteed to have
@@ -30,6 +34,14 @@ import (
 	"gcs/internal/clock"
 )
 
+// MuDisabled requests the jump-only regime: fast-rate catch-up is
+// switched off entirely (effective Mu of zero). The zero value of Mu
+// keeps meaning "unset, fill the default" so that zero-valued Params
+// stay usable, which previously made an explicit zero boost
+// inexpressible — WithDefaults silently rewrote Mu: 0 to Mu: 1. Any
+// negative Mu is treated as this sentinel.
+const MuDisabled = -1
+
 // Params configures one node's algorithm.
 type Params struct {
 	// Rho is the hardware clock drift bound: rates stay in [1-Rho, 1+Rho].
@@ -40,11 +52,14 @@ type Params struct {
 	// BeaconEvery is the hardware-time interval between beacons.
 	BeaconEvery float64
 	// Kappa is the local-skew threshold: a current neighbor estimated
-	// ahead by more than Kappa puts the node into fast mode.
+	// ahead by more than Kappa puts the node into fast mode. Zero means
+	// unset; WithDefaults fills the Section 5 schedule (KappaSchedule).
 	Kappa float64
 	// Mu is the fast-rate boost: in fast mode the logical clock runs at
 	// (1+Mu) times the hardware rate. Catch-up converges when
-	// (1+Mu)(1-Rho) > 1+Rho, i.e. Mu > 2*Rho/(1-Rho).
+	// (1+Mu)(1-Rho) > 1+Rho, i.e. Mu > 2*Rho/(1-Rho). Zero means unset
+	// (WithDefaults fills 1); pass MuDisabled (any negative value) for an
+	// explicit zero boost, the jump-only regime.
 	Mu float64
 	// JumpThreshold is how far the global max estimate must exceed L_u
 	// before the node jumps to it. 0 gives the pure max-propagation rule;
@@ -53,7 +68,28 @@ type Params struct {
 	JumpThreshold float64
 }
 
-// WithDefaults fills unset fields with reasonable values.
+// KappaSchedule is the paper's Section 5 blocking/gradient threshold as
+// a function of the model parameters: the largest apparent gap that
+// estimate staleness alone can fabricate. A current neighbor's estimate
+// is stale by at most one beacon interval (real time
+// beaconEvery/(1-rho)) plus one message delay; over that window the
+// neighbor's logical clock advances at most (1+mu)(1+rho) per unit real
+// time (it may itself be in fast mode) while conservative aging credits
+// at least (1-rho)^2/(1+rho). An estimated gap above the difference
+// therefore witnesses genuine local skew: fast mode never triggers on a
+// synchronized pair, while every real gap above Kappa is caught up at
+// the fast rate — the two facts the gradient (Section 5) argument
+// balances.
+func KappaSchedule(rho, mu, maxDelay, beaconEvery float64) float64 {
+	if mu < 0 {
+		mu = 0
+	}
+	w := beaconEvery/(1-rho) + maxDelay
+	return ((1+mu)*(1+rho) - (1-rho)*(1-rho)/(1+rho)) * w
+}
+
+// WithDefaults fills unset fields with reasonable values. It is
+// idempotent: explicit sentinel values (MuDisabled) pass through.
 func (p Params) WithDefaults() Params {
 	if p.Rho == 0 {
 		p.Rho = 0.01
@@ -64,14 +100,28 @@ func (p Params) WithDefaults() Params {
 	if p.BeaconEvery == 0 {
 		p.BeaconEvery = 0.1
 	}
-	if p.Kappa == 0 {
-		p.Kappa = 4 * (p.MaxDelay + p.BeaconEvery)
-	}
 	if p.Mu == 0 {
 		p.Mu = 1
 	}
+	if p.Kappa == 0 {
+		p.Kappa = KappaSchedule(p.Rho, p.Mu, p.MaxDelay, p.BeaconEvery)
+	}
 	return p
 }
+
+// EffectiveMu returns the fast-rate boost actually applied: Mu, with the
+// MuDisabled sentinel (any negative value) mapped to zero.
+func (p Params) EffectiveMu() float64 {
+	if p.Mu < 0 {
+		return 0
+	}
+	return p.Mu
+}
+
+// FastRateEnabled reports whether the node ever enters fast mode: a
+// disabled or zero boost makes the fast regime a no-op, so the node
+// skips the neighbor scan entirely (the jump-only algorithm).
+func (p Params) FastRateEnabled() bool { return p.EffectiveMu() > 0 }
 
 func (p Params) validate() {
 	if p.Rho < 0 || p.Rho >= 1 {
@@ -83,8 +133,8 @@ func (p Params) validate() {
 	if p.Kappa <= 0 {
 		panic("gcs: Kappa must be positive (a zero threshold would Zeno the catch-up loop)")
 	}
-	if p.Mu < 0 || p.JumpThreshold < 0 {
-		panic("gcs: negative Mu or JumpThreshold")
+	if math.IsNaN(p.Mu) || p.JumpThreshold < 0 {
+		panic("gcs: NaN Mu or negative JumpThreshold")
 	}
 }
 
@@ -105,6 +155,7 @@ type Snapshot struct {
 	Messages    int
 	Jumps       int
 	Beacons     int
+	Discoveries int
 	Fast        bool
 }
 
@@ -118,6 +169,10 @@ type Node struct {
 	// broadcast sends the node's logical value to all current neighbors
 	// and returns the number of messages sent.
 	broadcast func(value float64) int
+	// unicast, when set, sends the node's logical value to one specific
+	// neighbor; neighbor discovery (OnEdgeAdded) uses it to beacon over a
+	// fresh edge without re-beaconing the whole neighborhood.
+	unicast func(to int, value float64) bool
 	// neighbors appends the node's current neighbors to buf (any order;
 	// the fast-mode scan is order-independent). nbuf is the reused
 	// scratch buffer so the per-message path does not allocate.
@@ -137,8 +192,8 @@ type Node struct {
 	// so rearming one does not allocate a method-value closure.
 	recomputeFn func()
 
-	msgs, jumps, beacons int
-	fast                 bool
+	msgs, jumps, beacons, discoveries int
+	fast                              bool
 }
 
 // New creates a node. broadcast and neighbors wire it to the transport
@@ -168,6 +223,28 @@ func New(id int, hw *clock.HardwareClock, p Params,
 	}
 	nd.recomputeFn = nd.recompute
 	return nd
+}
+
+// SetUnicast installs the point-to-point send used by neighbor
+// discovery. Without one, OnEdgeAdded still refreshes the node's regime
+// but cannot beacon over the fresh edge.
+func (nd *Node) SetUnicast(send func(to int, value float64) bool) {
+	nd.unicast = send
+}
+
+// OnEdgeAdded reacts to a fresh incident edge: the node immediately
+// beacons its logical value to the new neighbor instead of waiting up to
+// BeaconEvery for the periodic tick. The paper's catch-up argument
+// assumes exactly this — a node that becomes adjacent to a lagging (or
+// leading) clock exchanges values within one message delay, so
+// topology-created local skew starts being corrected at the fast rate
+// (or by a jump) right away.
+func (nd *Node) OnEdgeAdded(peer int) {
+	nd.recompute()
+	nd.discoveries++
+	if nd.unicast != nil {
+		nd.unicast(peer, nd.Logical())
+	}
 }
 
 // ID returns the node's identifier.
@@ -248,19 +325,23 @@ func (nd *Node) recompute() {
 
 	// Fast mode: some current neighbor is estimated ahead by more than
 	// Kappa. target is the largest such estimate; the catch-up timer
-	// re-evaluates exactly when L reaches it.
+	// re-evaluates exactly when L reaches it. With the fast rate disabled
+	// (MuDisabled, the jump-only regime) the scan is skipped: a boost of
+	// zero could never catch up and would only rearm useless timers.
 	fast := false
 	target := math.Inf(-1)
-	nd.nbuf = nd.neighbors(nd.nbuf[:0])
-	for _, v := range nd.nbuf {
-		e, ok := nd.est[v]
-		if !ok {
-			continue
-		}
-		if est := nd.agedEstimate(e, h); est-L > nd.p.Kappa {
-			fast = true
-			if est > target {
-				target = est
+	if nd.p.FastRateEnabled() {
+		nd.nbuf = nd.neighbors(nd.nbuf[:0])
+		for _, v := range nd.nbuf {
+			e, ok := nd.est[v]
+			if !ok {
+				continue
+			}
+			if est := nd.agedEstimate(e, h); est-L > nd.p.Kappa {
+				fast = true
+				if est > target {
+					target = est
+				}
 			}
 		}
 	}
@@ -268,7 +349,7 @@ func (nd *Node) recompute() {
 	nd.baseH, nd.baseL = h, L
 	nd.fast = fast
 	if fast {
-		nd.mult = 1 + nd.p.Mu
+		nd.mult = 1 + nd.p.EffectiveMu()
 	} else {
 		nd.mult = 1
 	}
@@ -296,6 +377,7 @@ func (nd *Node) Snap() Snapshot {
 		Messages:    nd.msgs,
 		Jumps:       nd.jumps,
 		Beacons:     nd.beacons,
+		Discoveries: nd.discoveries,
 		Fast:        nd.fast,
 	}
 }

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"gcs/internal/clock"
 	"gcs/internal/des"
@@ -188,6 +189,12 @@ type Config struct {
 
 	// SampleEvery is the real-time period of skew sampling.
 	SampleEvery float64
+
+	// CheckGradient attaches a GradientChecker to the simulation: every
+	// skew sample additionally buckets |L_u - L_v| over all node pairs by
+	// their current hop distance, for comparison against GradientBound.
+	// Off by default — the check reads n^2 pairs per sample.
+	CheckGradient bool
 }
 
 // WithDefaults returns the config with unset fields filled in.
@@ -241,4 +248,44 @@ func (c Config) GlobalSkewBound() float64 {
 		hops = float64(d)
 	}
 	return (1 + c.Rho) * (hops*hop + slack)
+}
+
+// GradientBound returns the analytic per-distance local skew bound — the
+// harness's form of the paper's Section 5 gradient property: the skew
+// between nodes currently d hops apart is linear in d, not in the
+// diameter. It is the per-edge stable skew times d plus the same churn
+// slack as GlobalSkewBound. The per-edge term is the cheaper of the two
+// catch-up regimes:
+//
+//   - jump regime: a lagging node jumps once its max estimate exceeds
+//     L by JumpThreshold, and the estimate one hop closer to the front
+//     is stale by at most one beacon interval plus one delay, so an
+//     edge's skew stays within JumpThreshold plus one hop window of
+//     clock growth;
+//   - fast-rate regime (requires a convergent boost,
+//     (1+Mu)(1-Rho) > 1+Rho): a gap above Kappa is detected within one
+//     hop window — during which the leader gains at most (1+Mu)(1+Rho)
+//     per unit real time — and then shrinks, so an edge's skew stays
+//     within Kappa plus one fast-rate hop window.
+//
+// Distances beyond the current topology get the same linear
+// extrapolation; d <= 0 returns 0. A configuration with jumps disabled
+// (JumpThreshold = +Inf) and the fast rate disabled or non-convergent
+// has no gradient property: the bound is +Inf.
+func (c Config) GradientBound(d int) float64 {
+	if d <= 0 {
+		return 0
+	}
+	c = c.WithDefaults()
+	hop := c.Node.BeaconEvery/(1-c.Rho) + c.MaxDelay
+	perEdge := math.Inf(1)
+	if !math.IsInf(c.Node.JumpThreshold, 1) {
+		perEdge = c.Node.JumpThreshold + (1+c.Rho)*hop
+	}
+	if mu := c.Node.EffectiveMu(); (1+mu)*(1-c.Rho) > 1+c.Rho {
+		if fast := c.Node.Kappa + (1+mu)*(1+c.Rho)*hop; fast < perEdge {
+			perEdge = fast
+		}
+	}
+	return float64(d)*perEdge + (1+c.Rho)*2*c.Churn.T()
 }

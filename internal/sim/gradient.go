@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"math"
+
+	"gcs/internal/dyngraph"
+)
+
+// GradientChecker verifies the paper's Section 5 gradient property over
+// a live execution: at every skew sample it buckets |L_u - L_v| over all
+// node pairs by their current hop distance and tracks the running
+// maximum per bucket, so the result is the observed local skew as a
+// function of distance — checked per sample across the whole run, not
+// just at the single worst edge. Distances come from a lazily
+// revalidated DistanceMatrix (one BFS sweep per topology-change epoch),
+// and the per-sample path allocates nothing in steady state.
+type GradientChecker struct {
+	dm *dyngraph.DistanceMatrix
+	// maxByDist[d] is the largest |L_u - L_v| seen over any pair at
+	// current distance d; index 0 is unused (a pair at distance 0 is the
+	// same node).
+	maxByDist []float64
+	// maxDist is the largest bucket with data so far.
+	maxDist int
+	samples int
+}
+
+// newGradientChecker sizes a checker for n nodes; distances are at most
+// n-1, so the bucket table never reallocates.
+func newGradientChecker(n int) *GradientChecker {
+	return &GradientChecker{
+		dm:        dyngraph.NewDistanceMatrix(n),
+		maxByDist: make([]float64, n),
+	}
+}
+
+// observe folds one sample into the buckets: vals[i] is node i's logical
+// clock at the sample instant, g supplies the current topology.
+func (gc *GradientChecker) observe(g *dyngraph.Dynamic, vals []float64) {
+	gc.dm.Update(g)
+	n := len(vals)
+	for u := 0; u < n; u++ {
+		row := gc.dm.Row(u)
+		lu := vals[u]
+		for v := u + 1; v < n; v++ {
+			d := int(row[v])
+			if d <= 0 {
+				continue // disconnected pair this sample
+			}
+			diff := math.Abs(lu - vals[v])
+			if diff > gc.maxByDist[d] {
+				gc.maxByDist[d] = diff
+				if d > gc.maxDist {
+					gc.maxDist = d
+				}
+			}
+		}
+	}
+	gc.samples++
+}
+
+// MaxDist returns the largest distance bucket holding data.
+func (gc *GradientChecker) MaxDist() int { return gc.maxDist }
+
+// MaxSkewAt returns the largest |L_u - L_v| observed over any pair at
+// current distance d, or 0 if no pair was ever at that distance.
+func (gc *GradientChecker) MaxSkewAt(d int) float64 {
+	if d < 1 || d >= len(gc.maxByDist) {
+		return 0
+	}
+	return gc.maxByDist[d]
+}
+
+// Samples returns the number of samples folded in.
+func (gc *GradientChecker) Samples() int { return gc.samples }
+
+// Recomputes returns the number of distance-matrix BFS sweeps performed
+// (one per distinct topology epoch observed).
+func (gc *GradientChecker) Recomputes() int { return gc.dm.Recomputes() }
+
+// PerDistance returns a fresh slice s with s[d] = MaxSkewAt(d) for d in
+// [0, MaxDist]; s[0] is always 0. Empty (nil) when no samples had any
+// connected pair.
+func (gc *GradientChecker) PerDistance() []float64 {
+	if gc.maxDist == 0 {
+		return nil
+	}
+	return append([]float64(nil), gc.maxByDist[:gc.maxDist+1]...)
+}
+
+// Check compares every bucket against bound(d) and returns the first
+// violating distance with its observed skew, or (0, 0, true) if every
+// bucket is within its bound.
+func (gc *GradientChecker) Check(bound func(d int) float64) (d int, skew float64, ok bool) {
+	for d := 1; d <= gc.maxDist; d++ {
+		if gc.maxByDist[d] > bound(d) {
+			return d, gc.maxByDist[d], false
+		}
+	}
+	return 0, 0, true
+}

@@ -41,6 +41,14 @@ type SkewReport struct {
 	TotalJumps    int
 	TotalMessages int
 	TotalBeacons  int
+	// TotalDiscoveries counts immediate beacons sent over fresh edges
+	// (gcs neighbor discovery on EdgeAdded).
+	TotalDiscoveries int
+
+	// PerDistanceSkew, when Config.CheckGradient is set, holds the
+	// largest |L_u - L_v| observed over any pair at current hop distance
+	// d, indexed by d (index 0 unused). Nil when the check is off.
+	PerDistanceSkew []float64
 }
 
 // Simulation is one fully wired scenario, exposed so tests can inspect
@@ -66,6 +74,9 @@ type Simulation struct {
 	edgeFn func(dyngraph.Edge)
 	// trace, when non-nil, receives one row of logical values per sample.
 	trace *TraceRecorder
+	// gradient, when non-nil (Config.CheckGradient), folds every sample
+	// into per-distance skew buckets.
+	gradient *GradientChecker
 	// started records whether the periodic sampler has been installed.
 	started bool
 }
@@ -100,6 +111,10 @@ func New(cfg Config) *Simulation {
 		}
 	}
 
+	if cfg.CheckGradient {
+		s.gradient = newGradientChecker(cfg.N)
+	}
+
 	onMessage := func(m transport.Message) {
 		s.Nodes[m.To].OnMessage(m.From, m.Value)
 	}
@@ -111,9 +126,14 @@ func New(cfg Config) *Simulation {
 		s.Nodes[i] = gcs.New(i, hw, cfg.Node,
 			func(v float64) int { return net.Broadcast(i, v) },
 			func(buf []int) []int { return g.AppendNeighbors(i, buf) })
+		s.Nodes[i].SetUnicast(func(to int, v float64) bool { return net.Send(i, to, v) })
 		net.SetHandler(i, onMessage)
 		cfg.Driver.build(i, cfg.Rho, driveRand).Install(en, hw)
 	}
+	// Neighbor discovery: subscribe before the churner installs, so even
+	// edges a churn process adds at time 0 trigger an immediate beacon
+	// exchange across the fresh edge.
+	g.Subscribe(discovery{s})
 
 	if ch := s.churner(root); ch != nil {
 		ch.Install(en, g)
@@ -125,6 +145,19 @@ func New(cfg Config) *Simulation {
 	}
 	return s
 }
+
+// discovery relays topology events to the algorithm layer: both
+// endpoints of a fresh edge beacon immediately over it instead of
+// waiting up to BeaconEvery, which is what the paper's catch-up
+// argument assumes of nodes that become adjacent.
+type discovery struct{ s *Simulation }
+
+func (d discovery) EdgeAdded(t float64, e dyngraph.Edge) {
+	d.s.Nodes[e.U].OnEdgeAdded(e.V)
+	d.s.Nodes[e.V].OnEdgeAdded(e.U)
+}
+
+func (d discovery) EdgeRemoved(t float64, e dyngraph.Edge) {}
 
 func (s *Simulation) churner(root *des.Rand) dyngraph.Churner {
 	cfg := s.Cfg
@@ -149,7 +182,11 @@ func (s *Simulation) churner(root *des.Rand) dyngraph.Churner {
 
 // volatileCandidates draws ExtraEdges distinct random edges that are not
 // part of the static backbone (the initial edge set already materialized
-// in New).
+// in New). Rejection sampling is capped, so on dense backbones it can
+// exhaust its attempt budget short of the request; the remainder is then
+// filled by deterministic enumeration of the unused non-backbone pairs,
+// so the churner is under-provisioned only when the graph genuinely has
+// fewer candidates than requested.
 func (s *Simulation) volatileCandidates(r *des.Rand) []dyngraph.Edge {
 	backbone := map[dyngraph.Edge]bool{}
 	for _, e := range s.initialEdges {
@@ -169,6 +206,15 @@ func (s *Simulation) volatileCandidates(r *des.Rand) []dyngraph.Edge {
 		}
 		seen[e] = true
 		out = append(out, e)
+	}
+	for u := 0; u < s.Cfg.N && len(out) < s.Cfg.Churn.ExtraEdges; u++ {
+		for v := u + 1; v < s.Cfg.N && len(out) < s.Cfg.Churn.ExtraEdges; v++ {
+			e := dyngraph.Edge{U: u, V: v}
+			if backbone[e] || seen[e] {
+				continue
+			}
+			out = append(out, e)
+		}
 	}
 	return out
 }
@@ -201,6 +247,9 @@ func (s *Simulation) observe() {
 	}
 	if s.trace != nil {
 		s.trace.Record(s.Engine.Now(), s.vals)
+	}
+	if s.gradient != nil {
+		s.gradient.observe(s.Graph, s.vals)
 	}
 	// Max over edges is order-independent, so the unordered allocation-free
 	// iteration is deterministic in its result.
@@ -240,8 +289,16 @@ func (s *Simulation) Run() SkewReport {
 	s.report.Transport = s.Net.Stats()
 	s.report.EventsExecuted = s.Engine.Executed()
 	s.report.EdgeAdds, s.report.EdgeRemoves = s.Graph.Stats()
+	if s.gradient != nil {
+		s.report.PerDistanceSkew = s.gradient.PerDistance()
+	}
 
+	// The totals below are recomputed from node snapshots on every call,
+	// so Run is idempotent: calling it after Advance-stepping, or twice,
+	// reports each jump/message/beacon exactly once.
 	s.report.MinRateSeen, s.report.MaxRateSeen = math.Inf(1), math.Inf(-1)
+	s.report.TotalJumps, s.report.TotalMessages = 0, 0
+	s.report.TotalBeacons, s.report.TotalDiscoveries = 0, 0
 	for i, hw := range s.Clocks {
 		mn, mx := hw.RateBoundsSeen()
 		if mn < s.report.MinRateSeen {
@@ -254,9 +311,14 @@ func (s *Simulation) Run() SkewReport {
 		s.report.TotalJumps += snap.Jumps
 		s.report.TotalMessages += snap.Messages
 		s.report.TotalBeacons += snap.Beacons
+		s.report.TotalDiscoveries += snap.Discoveries
 	}
 	return s.report
 }
+
+// Gradient returns the simulation's gradient checker, or nil when
+// Config.CheckGradient is off.
+func (s *Simulation) Gradient() *GradientChecker { return s.gradient }
 
 // Run wires and executes cfg in one call.
 func Run(cfg Config) SkewReport {
