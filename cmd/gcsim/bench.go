@@ -26,7 +26,7 @@ func runBench(args []string) {
 		out        = fs.String("out", ".", "directory to write BENCH_<rev>.json into")
 		rev        = fs.String("rev", "", "revision tag for the snapshot name; default `git rev-parse --short HEAD`")
 		baseline   = fs.String("baseline", "", "committed BENCH_<rev>.json to gate against (empty: no gate)")
-		gate       = fs.String("gate", "BenchmarkRing256", "benchmark name the -baseline gate compares")
+		gate       = fs.String("gate", "all", "comma-separated benchmark names the -baseline gate compares, or 'all' for every benchmark in the baseline (requires running the full suite)")
 		maxRegress = fs.Float64("max-regress", 0.25, "allowed fractional ns/op or allocs/op regression before the gate fails")
 	)
 	fs.Parse(args)
@@ -73,9 +73,47 @@ func runBench(args []string) {
 		if err != nil {
 			fail("bench: %v", err)
 		}
-		if err := bench.Compare(base, rep, *gate, *maxRegress); err != nil {
-			fail("%v", err)
+		if *gate == "all" {
+			if *pattern == "." {
+				// Full-suite run: strict — a baseline benchmark missing from
+				// the run means a scenario was dropped, which must fail.
+				if err := bench.CompareAll(base, rep, *maxRegress); err != nil {
+					fail("%v", err)
+				}
+				fmt.Printf("ok: all %d baseline benchmarks within %.0f%% of %s\n",
+					len(base.Results), *maxRegress*100, base.Rev)
+			} else {
+				// Filtered run: gate only the benchmarks actually run, so a
+				// quick `-bench BenchmarkRing256` iteration still works
+				// against a full-suite baseline.
+				gated, skipped := 0, 0
+				for _, b := range base.Results {
+					if _, ok := rep.Find(b.Name); !ok {
+						skipped++
+						continue
+					}
+					if err := bench.Compare(base, rep, b.Name, *maxRegress); err != nil {
+						fail("%v", err)
+					}
+					gated++
+				}
+				if gated == 0 {
+					fail("bench: -bench %q matched no baseline benchmark to gate", *pattern)
+				}
+				fmt.Printf("ok: %d baseline benchmark(s) within %.0f%% of %s (%d not run, skipped)\n",
+					gated, *maxRegress*100, base.Rev, skipped)
+			}
+		} else {
+			for _, name := range strings.Split(*gate, ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				if err := bench.Compare(base, rep, name, *maxRegress); err != nil {
+					fail("%v", err)
+				}
+			}
+			fmt.Printf("ok: %s within %.0f%% of baseline %s\n", *gate, *maxRegress*100, base.Rev)
 		}
-		fmt.Printf("ok: %s within %.0f%% of baseline %s\n", *gate, *maxRegress*100, base.Rev)
 	}
 }

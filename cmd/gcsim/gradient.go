@@ -37,8 +37,9 @@ type gradientCell struct {
 // churn scenarios — with the per-sample GradientChecker attached,
 // prints observed per-distance local skew against Config.GradientBound,
 // and dumps gradient_skew.csv plus gradient_report.json for CI
-// artifacts. It exits nonzero if any scenario violates its bound at any
-// distance.
+// artifacts. The grid fans across -workers arena-backed goroutines
+// (sim.RunSweep), with output bit-identical to a serial sweep. It exits
+// nonzero if any scenario violates its bound at any distance.
 func runGradient(args []string) {
 	fs := flag.NewFlagSet("gcsim gradient", flag.ExitOnError)
 	var (
@@ -49,6 +50,7 @@ func runGradient(args []string) {
 		delay   = fs.Float64("delay", 0.01, "message delay bound (seconds)")
 		beacon  = fs.Float64("beacon", 0.1, "beacon interval (hardware time)")
 		sample  = fs.Float64("sample", 0.1, "skew sampling period (real time)")
+		workers = fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		out     = fs.String("out", ".", "directory for gradient_skew.csv and gradient_report.json")
 	)
 	fs.Parse(args)
@@ -80,13 +82,7 @@ func runGradient(args []string) {
 		{Kind: sim.DriveRandomWalk, Interval: 0.5},
 	}
 
-	var csv strings.Builder
-	csv.WriteString("scenario,topology,driver,churn,n,d,max_skew,bound,ratio\n")
-	cells := make([]gradientCell, 0, len(topologies)*len(drivers))
-	violations := 0
-
-	fmt.Printf("%-28s %8s %8s %12s %12s %12s %10s\n",
-		"scenario", "samples", "maxDist", "worstSkew", "worstBound", "worstRatio", "epochs")
+	var cells []sim.SweepCell
 	for _, topo := range topologies {
 		for _, drv := range drivers {
 			cfg := sim.Config{
@@ -102,55 +98,72 @@ func runGradient(args []string) {
 				CheckGradient: true,
 			}
 			cfg.Node.BeaconEvery = *beacon
-
-			s := sim.New(cfg)
-			rpt := s.Run()
-			gc := s.Gradient()
-
-			topoName := topo.spec.Kind.String()
-			if topo.ch.Kind == sim.ChurnRotatingStar {
-				// The rotating star ignores the topology spec entirely;
-				// labeling it with the zero spec's kind would be wrong.
-				topoName = "-"
-			}
-			cell := gradientCell{
-				Scenario: fmt.Sprintf("%s/%v", topo.name, drv.Kind),
-				Topology: topoName,
-				Driver:   drv.Kind.String(),
-				Churn:    topo.ch.Kind.String(),
-				N:        *n,
-				MaxDist:  gc.MaxDist(),
-				Samples:  gc.Samples(),
-				Epochs:   gc.Recomputes(),
-				MaxSkew:  rpt.MaxGlobalSkew,
-				// Index 0 of the per-distance arrays is the unused
-				// distance-0 slot, so JSON consumers index by d directly.
-				PerDistanceSkew:  []float64{0},
-				PerDistanceBound: []float64{0},
-			}
-			worstD := 0
-			for d := 1; d <= gc.MaxDist(); d++ {
-				skew := gc.MaxSkewAt(d)
-				bound := cfg.GradientBound(d)
-				ratio := skew / bound
-				cell.PerDistanceSkew = append(cell.PerDistanceSkew, skew)
-				cell.PerDistanceBound = append(cell.PerDistanceBound, bound)
-				if ratio > cell.WorstRatio {
-					cell.WorstRatio = ratio
-					worstD = d
-				}
-				fmt.Fprintf(&csv, "%s,%s,%s,%s,%d,%d,%g,%g,%g\n",
-					cell.Scenario, cell.Topology, cell.Driver, cell.Churn, *n, d, skew, bound, ratio)
-			}
-			if _, _, ok := gc.Check(cfg.GradientBound); !ok {
-				cell.Violated = true
-				violations++
-			}
-			cells = append(cells, cell)
-			fmt.Printf("%-28s %8d %8d %12.6f %12.6f %12.4f %10d\n",
-				cell.Scenario, cell.Samples, cell.MaxDist,
-				gc.MaxSkewAt(worstD), cfg.GradientBound(worstD), cell.WorstRatio, cell.Epochs)
+			cells = append(cells, sim.SweepCell{
+				Name: fmt.Sprintf("%s/%v", topo.name, drv.Kind),
+				Cfg:  cfg,
+			})
 		}
+	}
+	results := sim.RunSweep(cells, *workers)
+
+	var csv strings.Builder
+	csv.WriteString("scenario,topology,driver,churn,n,d,max_skew,bound,ratio\n")
+	gcells := make([]gradientCell, 0, len(results))
+	violations := 0
+
+	fmt.Printf("%-28s %8s %8s %12s %12s %12s %10s\n",
+		"scenario", "samples", "maxDist", "worstSkew", "worstBound", "worstRatio", "epochs")
+	for _, res := range results {
+		rpt := res.Report
+		maxDist := 0
+		if len(rpt.PerDistanceSkew) > 0 {
+			maxDist = len(rpt.PerDistanceSkew) - 1
+		}
+		topoName := res.Cfg.Topology.Kind.String()
+		if res.Cfg.Churn.Kind == sim.ChurnRotatingStar {
+			// The rotating star ignores the topology spec entirely;
+			// labeling it with the zero spec's kind would be wrong.
+			topoName = "-"
+		}
+		cell := gradientCell{
+			Scenario: res.Name,
+			Topology: topoName,
+			Driver:   res.Cfg.Driver.Kind.String(),
+			Churn:    res.Cfg.Churn.Kind.String(),
+			N:        *n,
+			MaxDist:  maxDist,
+			Samples:  rpt.Samples,
+			Epochs:   rpt.DistanceRecomputes,
+			MaxSkew:  rpt.MaxGlobalSkew,
+			// Index 0 of the per-distance arrays is the unused
+			// distance-0 slot, so JSON consumers index by d directly.
+			PerDistanceSkew:  []float64{0},
+			PerDistanceBound: []float64{0},
+		}
+		worstD := 0
+		for d := 1; d <= maxDist; d++ {
+			skew := rpt.PerDistanceSkew[d]
+			bound := res.Cfg.GradientBound(d)
+			ratio := skew / bound
+			cell.PerDistanceSkew = append(cell.PerDistanceSkew, skew)
+			cell.PerDistanceBound = append(cell.PerDistanceBound, bound)
+			if ratio > cell.WorstRatio {
+				cell.WorstRatio = ratio
+				worstD = d
+			}
+			if skew > bound {
+				cell.Violated = true
+			}
+			fmt.Fprintf(&csv, "%s,%s,%s,%s,%d,%d,%g,%g,%g\n",
+				cell.Scenario, cell.Topology, cell.Driver, cell.Churn, *n, d, skew, bound, ratio)
+		}
+		if cell.Violated {
+			violations++
+		}
+		gcells = append(gcells, cell)
+		fmt.Printf("%-28s %8d %8d %12.6f %12.6f %12.4f %10d\n",
+			cell.Scenario, cell.Samples, cell.MaxDist,
+			cell.PerDistanceSkew[worstD], cell.PerDistanceBound[worstD], cell.WorstRatio, cell.Epochs)
 	}
 
 	csvPath := filepath.Join(*out, "gradient_skew.csv")
@@ -166,7 +179,7 @@ func runGradient(args []string) {
 		BeaconEvery float64        `json:"beacon_every"`
 		SampleEvery float64        `json:"sample_every"`
 		Cells       []gradientCell `json:"cells"`
-	}{*seed, *n, *horizon, *rho, *delay, *beacon, *sample, cells}
+	}{*seed, *n, *horizon, *rho, *delay, *beacon, *sample, gcells}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fail("gradient: %v", err)

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -16,7 +15,11 @@ import (
 // runLowerBound implements `gcsim lowerbound`: it sweeps the Theorem 4.1
 // two-chain adversarial scenario over several node counts, prints the
 // observed-vs-analytic skew table, and dumps the skew time series as CSV
-// plus the full report as JSON for plotting.
+// plus the full report as JSON for plotting. Serially (the default) one
+// arena and one trace recorder are reshaped across the whole sweep; with
+// -workers > 1 the node counts fan across arena-backed goroutines, each
+// with a private recorder, and results (CSV rows included) are emitted
+// in sweep order — bit-identical to the serial output.
 func runLowerBound(args []string) {
 	fs := flag.NewFlagSet("gcsim lowerbound", flag.ExitOnError)
 	var (
@@ -28,6 +31,7 @@ func runLowerBound(args []string) {
 		beacon  = fs.Float64("beacon", 0.1, "beacon interval (hardware time)")
 		sample  = fs.Float64("sample", 0.1, "skew sampling period (real time)")
 		horizon = fs.Float64("horizon", 0, "run length; 0 derives it from the rate schedule per n")
+		workers = fs.Int("workers", 1, "parallel sweep workers (0 = GOMAXPROCS, 1 = serial with shared arena)")
 		out     = fs.String("out", ".", "directory for lowerbound_skew.csv and lowerbound_report.json")
 	)
 	fs.Parse(args)
@@ -69,27 +73,11 @@ func runLowerBound(args []string) {
 
 	var csv strings.Builder
 	csv.WriteString("n,t,min,max,skew\n")
-	results := make([]sim.LowerBoundResult, 0, len(ns))
-	var tr *sim.TraceRecorder
-
+	results, rows := lowerBoundSweep(base, ns, *workers)
 	fmt.Printf("%6s %8s %14s %14s %12s %12s\n",
 		"n", "maxDist", "maxSkew", "finalSkew", "omega(n)", "upperBound")
-	for _, n := range ns {
-		cfg := base
-		cfg.N = n
-		cfg = cfg.WithDefaults()
-		capacity := int(math.Ceil(cfg.Horizon/cfg.SampleEvery)) + 2
-		if tr == nil {
-			tr = sim.NewTraceRecorder(n, capacity)
-		} else if capacity > tr.Capacity() {
-			tr = sim.NewTraceRecorder(n, capacity)
-		}
-		res := sim.RunLowerBound(cfg, tr)
-		results = append(results, res)
-		for i := 0; i < tr.Len(); i++ {
-			t, min, max := tr.Skew(i)
-			fmt.Fprintf(&csv, "%d,%g,%g,%g,%g\n", n, t, min, max, max-min)
-		}
+	for i, res := range results {
+		csv.WriteString(rows[i])
 		fmt.Printf("%6d %8d %14.6f %14.6f %12.6f %12.2f\n",
 			res.N, res.MaxDist, res.MaxGlobalSkew, res.FinalGlobalSkew, res.OmegaSkew, res.UpperBound)
 	}
@@ -127,6 +115,24 @@ func runLowerBound(args []string) {
 		fail("lowerbound: %v", err)
 	}
 	fmt.Printf("wrote %s and %s\n", csvPath, jsonPath)
+}
+
+// lowerBoundSweep runs the Theorem 4.1 scenario at each node count via
+// sim.LowerBoundSweepParallel and returns, in ns order, the results and
+// the per-run CSV trace rows (rendered synchronously in the collect
+// callback, since the recorder is reshaped for the worker's next run).
+func lowerBoundSweep(base sim.LowerBoundConfig, ns []int, workers int) ([]sim.LowerBoundResult, []string) {
+	rows := make([]string, len(ns))
+	results := sim.LowerBoundSweepParallel(base, ns, workers,
+		func(i int, res sim.LowerBoundResult, tr *sim.TraceRecorder) {
+			var b strings.Builder
+			for s := 0; s < tr.Len(); s++ {
+				t, min, max := tr.Skew(s)
+				fmt.Fprintf(&b, "%d,%g,%g,%g,%g\n", res.N, t, min, max, max-min)
+			}
+			rows[i] = b.String()
+		})
+	return results, rows
 }
 
 // parseNs parses a comma-separated list of node counts.

@@ -18,6 +18,13 @@
 // dumps the skew time series as CSV plus a JSON report for plotting:
 //
 //	go run ./cmd/gcsim lowerbound -n 32,64,128,256 -out .
+//
+// The `sweep` subcommand fans a general scenario grid (node counts x
+// topologies x drivers x churn) across parallel arena-backed workers,
+// checks every cell against its analytic skew bound, and dumps the grid
+// as CSV + JSON; output is bit-identical for every -workers value:
+//
+//	go run ./cmd/gcsim sweep -n 1024,4096 -topos ring,grid -workers 4 -out .
 package main
 
 import (
@@ -41,6 +48,9 @@ func main() {
 			return
 		case "gradient":
 			runGradient(os.Args[2:])
+			return
+		case "sweep":
+			runSweep(os.Args[2:])
 			return
 		}
 	}

@@ -1,0 +1,252 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"gcs/internal/sim"
+)
+
+// sweepRow is one grid cell's outcome in the JSON report.
+type sweepRow struct {
+	Scenario       string  `json:"scenario"`
+	Topology       string  `json:"topology"`
+	Driver         string  `json:"driver"`
+	Churn          string  `json:"churn"`
+	N              int     `json:"n"`
+	Seed           uint64  `json:"seed"`
+	MaxGlobalSkew  float64 `json:"max_global_skew"`
+	FinalSkew      float64 `json:"final_global_skew"`
+	Bound          float64 `json:"bound"`
+	Jumps          int     `json:"jumps"`
+	Sent           uint64  `json:"sent"`
+	Delivered      uint64  `json:"delivered"`
+	Dropped        uint64  `json:"dropped"`
+	Coalesced      uint64  `json:"coalesced"`
+	EventsExecuted uint64  `json:"events_executed"`
+	Violated       bool    `json:"violated"`
+}
+
+// runSweep implements `gcsim sweep`: a general scenario grid — node
+// counts x topologies x drivers x churn processes — fanned across
+// arena-backed workers (sim.RunSweep). Each cell gets a deterministic
+// per-cell seed derived from -seed and its grid index, so the sweep is
+// reproducible and bit-identical for every -workers value. Every cell's
+// observed global skew is checked against its analytic bound; any
+// violation makes the command exit nonzero. Results are printed as a
+// table and dumped to sweep_results.csv and sweep_report.json.
+func runSweep(args []string) {
+	fs := flag.NewFlagSet("gcsim sweep", flag.ExitOnError)
+	var (
+		nsFlag   = fs.String("n", "256,1024", "comma-separated node counts")
+		topos    = fs.String("topos", "ring,grid", "comma-separated topologies: line|ring|star|grid|complete")
+		drivers  = fs.String("drivers", "randomwalk,bangbang", "comma-separated drivers: constant|randomwalk|bangbang")
+		churns   = fs.String("churns", "none", "comma-separated churn processes: none|volatile|rotatingstar")
+		seed     = fs.Uint64("seed", 1, "base seed; each cell derives its own")
+		horizon  = fs.Float64("horizon", 10, "simulated seconds per cell")
+		rho      = fs.Float64("rho", 0.01, "hardware clock drift bound")
+		delay    = fs.Float64("delay", 0.01, "message delay bound (seconds)")
+		beacon   = fs.Float64("beacon", 0.1, "beacon interval (hardware time)")
+		sample   = fs.Float64("sample", 0.1, "skew sampling period (real time)")
+		interval = fs.Float64("interval", 1, "driver rate-change interval")
+		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		out      = fs.String("out", ".", "directory for sweep_results.csv and sweep_report.json")
+	)
+	fs.Parse(args)
+
+	ns, err := parseNs(*nsFlag)
+	if err != nil {
+		fail("sweep: %v", err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail("sweep: %v", err)
+	}
+
+	var cells []sim.SweepCell
+	for _, n := range ns {
+		for _, topoName := range splitList(*topos) {
+			for _, drvName := range splitList(*drivers) {
+				for _, churnName := range splitList(*churns) {
+					// The rotating star ignores the topology spec (the churner
+					// builds its own stars), so emit it once per (n, driver)
+					// — on the first topology of the list — labeled "-".
+					star := churnName == "rotatingstar"
+					if star && topoName != splitList(*topos)[0] {
+						continue
+					}
+					cfg := sim.Config{
+						N:           n,
+						Horizon:     *horizon,
+						Rho:         *rho,
+						MaxDelay:    *delay,
+						SampleEvery: *sample,
+					}
+					cfg.Node.BeaconEvery = *beacon
+					cfg.Driver = parseDriver(drvName, *interval)
+					cfg.Churn = parseChurn(churnName, n)
+					label := topoName
+					if star {
+						label = "-"
+					} else {
+						cfg.Topology = parseTopology(topoName, n)
+					}
+					cfg.Seed = sim.CellSeed(*seed, len(cells))
+					name := fmt.Sprintf("%s/%s/%s/n=%d", label, drvName, churnName, n)
+					cells = append(cells, sim.SweepCell{Name: name, Cfg: cfg})
+				}
+			}
+		}
+	}
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("sweep: %d cells across %d workers\n", len(cells), w)
+	start := time.Now()
+	results := sim.RunSweep(cells, *workers)
+	elapsed := time.Since(start)
+
+	var csv strings.Builder
+	csv.WriteString("scenario,topology,driver,churn,n,seed,max_global_skew,final_skew,bound,jumps,sent,delivered,dropped,coalesced,events,violated\n")
+	rows := make([]sweepRow, 0, len(results))
+	violations := 0
+	fmt.Printf("%-40s %12s %12s %10s %12s %10s\n",
+		"scenario", "maxSkew", "bound", "jumps", "events", "coalesced")
+	for _, res := range results {
+		rpt := res.Report
+		topoName := res.Cfg.Topology.Kind.String()
+		if res.Cfg.Churn.Kind == sim.ChurnRotatingStar {
+			topoName = "-"
+		}
+		row := sweepRow{
+			Scenario:       res.Name,
+			Topology:       topoName,
+			Driver:         res.Cfg.Driver.Kind.String(),
+			Churn:          res.Cfg.Churn.Kind.String(),
+			N:              res.Cfg.N,
+			Seed:           res.Cfg.Seed,
+			MaxGlobalSkew:  rpt.MaxGlobalSkew,
+			FinalSkew:      rpt.FinalGlobalSkew,
+			Bound:          rpt.Bound,
+			Jumps:          rpt.TotalJumps,
+			Sent:           rpt.Transport.Sent,
+			Delivered:      rpt.Transport.Delivered,
+			Dropped:        rpt.Transport.Dropped,
+			Coalesced:      rpt.Transport.Coalesced,
+			EventsExecuted: rpt.EventsExecuted,
+			Violated:       rpt.MaxGlobalSkew > rpt.Bound,
+		}
+		if row.Violated {
+			violations++
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(&csv, "%s,%s,%s,%s,%d,%d,%g,%g,%g,%d,%d,%d,%d,%d,%d,%t\n",
+			row.Scenario, row.Topology, row.Driver, row.Churn, row.N, row.Seed,
+			row.MaxGlobalSkew, row.FinalSkew, row.Bound, row.Jumps,
+			row.Sent, row.Delivered, row.Dropped, row.Coalesced, row.EventsExecuted, row.Violated)
+		fmt.Printf("%-40s %12.6f %12.4f %10d %12d %10d\n",
+			row.Scenario, row.MaxGlobalSkew, row.Bound, row.Jumps, row.EventsExecuted, row.Coalesced)
+	}
+
+	csvPath := filepath.Join(*out, "sweep_results.csv")
+	if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
+		fail("sweep: %v", err)
+	}
+	report := struct {
+		Seed        uint64     `json:"seed"`
+		Horizon     float64    `json:"horizon"`
+		Rho         float64    `json:"rho"`
+		MaxDelay    float64    `json:"max_delay"`
+		BeaconEvery float64    `json:"beacon_every"`
+		SampleEvery float64    `json:"sample_every"`
+		Workers     int        `json:"workers"`
+		ElapsedSec  float64    `json:"elapsed_sec"`
+		Cells       []sweepRow `json:"cells"`
+	}{*seed, *horizon, *rho, *delay, *beacon, *sample, w, elapsed.Seconds(), rows}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fail("sweep: %v", err)
+	}
+	jsonPath := filepath.Join(*out, "sweep_report.json")
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		fail("sweep: %v", err)
+	}
+	fmt.Printf("wrote %s and %s (%d cells in %.2fs)\n", csvPath, jsonPath, len(rows), elapsed.Seconds())
+
+	if violations > 0 {
+		fail("sweep: %d cell(s) exceeded the analytic global skew bound", violations)
+	}
+	fmt.Println("ok: global skew within the analytic bound on every cell")
+}
+
+// splitList splits a comma-separated flag into trimmed nonempty parts.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	if len(out) == 0 {
+		fail("sweep: empty list flag")
+	}
+	return out
+}
+
+// parseTopology maps a topology name to its spec; grid uses the most
+// square factorization of n.
+func parseTopology(name string, n int) sim.TopologySpec {
+	switch name {
+	case "line":
+		return sim.TopologySpec{Kind: sim.TopoLine}
+	case "ring":
+		return sim.TopologySpec{Kind: sim.TopoRing}
+	case "star":
+		return sim.TopologySpec{Kind: sim.TopoStar}
+	case "grid":
+		w := gridW(n)
+		return sim.TopologySpec{Kind: sim.TopoGrid, W: w, H: n / w}
+	case "complete":
+		return sim.TopologySpec{Kind: sim.TopoComplete}
+	}
+	fail("sweep: unknown topology %q", name)
+	panic("unreachable")
+}
+
+// parseDriver maps a driver name to its spec.
+func parseDriver(name string, interval float64) sim.DriverSpec {
+	switch name {
+	case "constant":
+		return sim.DriverSpec{Kind: sim.DriveConstant, Interval: interval}
+	case "randomwalk":
+		return sim.DriverSpec{Kind: sim.DriveRandomWalk, Interval: interval}
+	case "bangbang":
+		return sim.DriverSpec{Kind: sim.DriveBangBang, Interval: interval}
+	}
+	fail("sweep: unknown driver %q", name)
+	panic("unreachable")
+}
+
+// parseChurn maps a churn name to its spec, scaling the volatile
+// candidate pool with n.
+func parseChurn(name string, n int) sim.ChurnSpec {
+	switch name {
+	case "none":
+		return sim.ChurnSpec{}
+	case "volatile":
+		return sim.ChurnSpec{
+			Kind: sim.ChurnVolatile, Lifetime: 1.5, Absence: 1.0, ExtraEdges: n / 2,
+		}
+	case "rotatingstar":
+		return sim.ChurnSpec{Kind: sim.ChurnRotatingStar, Period: 2, Overlap: 0.5}
+	}
+	fail("sweep: unknown churn %q", name)
+	panic("unreachable")
+}

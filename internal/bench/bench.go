@@ -181,6 +181,27 @@ func Compare(baseline, current Report, name string, maxRegress float64) error {
 	return nil
 }
 
+// CompareAll gates every benchmark present in the baseline against the
+// current run, so the regression gate covers the whole committed suite
+// instead of a single named benchmark. Benchmarks new in the current run
+// (absent from the baseline) are ignored — they have no reference yet.
+// All regressions are reported, not just the first.
+func CompareAll(baseline, current Report, maxRegress float64) error {
+	if len(baseline.Results) == 0 {
+		return fmt.Errorf("bench: baseline %s has no benchmarks", baseline.Rev)
+	}
+	var failures []string
+	for _, base := range baseline.Results {
+		if err := Compare(baseline, current, base.Name, maxRegress); err != nil {
+			failures = append(failures, err.Error())
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%s", strings.Join(failures, "\n"))
+	}
+	return nil
+}
+
 // ReadFile loads a previously written snapshot.
 func ReadFile(path string) (Report, error) {
 	data, err := os.ReadFile(path)

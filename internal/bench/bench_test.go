@@ -127,6 +127,46 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+func TestCompareAll(t *testing.T) {
+	base := Report{Rev: "base", Results: []Result{
+		{Name: "BenchmarkRing256", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkGrid1024", NsPerOp: 2000, AllocsPerOp: 200},
+	}}
+	ok := Report{Rev: "cur", Results: []Result{
+		{Name: "BenchmarkRing256", NsPerOp: 1100, AllocsPerOp: 100},
+		{Name: "BenchmarkGrid1024", NsPerOp: 1500, AllocsPerOp: 150},
+		// New benchmarks without a baseline reference are ignored.
+		{Name: "BenchmarkRing10k", NsPerOp: 1e9, AllocsPerOp: 30},
+	}}
+	if err := CompareAll(base, ok, 0.25); err != nil {
+		t.Fatalf("in-allowance suite failed the gate: %v", err)
+	}
+	// A regression in any gated benchmark fails, and every failure is
+	// reported (not just the first).
+	bad := Report{Rev: "cur", Results: []Result{
+		{Name: "BenchmarkRing256", NsPerOp: 2000, AllocsPerOp: 100},
+		{Name: "BenchmarkGrid1024", NsPerOp: 2000, AllocsPerOp: 400},
+	}}
+	err := CompareAll(base, bad, 0.25)
+	if err == nil {
+		t.Fatal("regressed suite passed the gate")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "BenchmarkRing256") || !strings.Contains(msg, "BenchmarkGrid1024") {
+		t.Fatalf("gate reported only part of the regressions: %v", msg)
+	}
+	// A baseline benchmark missing from the current run fails the gate:
+	// silently dropping a scenario would hide a regression forever.
+	missing := Report{Rev: "cur", Results: []Result{
+		{Name: "BenchmarkRing256", NsPerOp: 1000, AllocsPerOp: 100},
+	}}
+	if err := CompareAll(base, missing, 0.25); err == nil {
+		t.Fatal("gate passed with a baseline benchmark missing from the run")
+	}
+	if err := CompareAll(Report{Rev: "empty"}, ok, 0.25); err == nil {
+		t.Fatal("gate accepted an empty baseline")
+	}
+}
+
 func TestCompareMissingBenchmark(t *testing.T) {
 	base := Report{Rev: "base", Results: []Result{{Name: "BenchmarkRing256", NsPerOp: 1}}}
 	cur := Report{Rev: "cur", Results: []Result{{Name: "BenchmarkOther", NsPerOp: 1}}}

@@ -68,6 +68,26 @@ func New(en *des.Engine, initialRate float64) *HardwareClock {
 	return c
 }
 
+// Reset returns the clock to a fresh reading of 0 at the engine's
+// current time, running at initialRate, with no pending timers. It is
+// the arena-reuse counterpart of New: the timer arena and free list are
+// kept warm so re-arming timers after a reset allocates nothing. Call it
+// after the owning engine has been Reset — pending timers are released
+// without cancelling their (already recycled) engine events.
+func (c *HardwareClock) Reset(initialRate float64) {
+	if initialRate <= 0 {
+		panic("clock: nonpositive rate")
+	}
+	for len(c.active) > 0 {
+		c.release(c.active[len(c.active)-1])
+	}
+	c.lastT = c.en.Now()
+	c.lastH = 0
+	c.rate = initialRate
+	c.minRateSeen = initialRate
+	c.maxRateSeen = initialRate
+}
+
 // Now returns the hardware clock reading at the engine's current time.
 func (c *HardwareClock) Now() float64 {
 	return c.ReadAt(c.en.Now())

@@ -117,6 +117,23 @@ func NewEngine() *Engine {
 // the handler's scheduled fire time.
 func (en *Engine) Now() Time { return en.now }
 
+// Reset returns the engine to time 0 with an empty queue, recycling every
+// pending event through the free list so a rewired simulation reuses the
+// warm pool instead of reallocating it. Outstanding EventRefs go stale
+// (Cancel on them stays a harmless no-op); the executed counter restarts;
+// an installed trace hook is kept.
+func (en *Engine) Reset() {
+	for i, e := range en.heap {
+		en.heap[i] = nil
+		en.release(e)
+	}
+	en.heap = en.heap[:0]
+	en.now = 0
+	en.nextSeq = 0
+	en.executed = 0
+	en.stopped = false
+}
+
 // Executed returns the number of events that have fired so far.
 func (en *Engine) Executed() uint64 { return en.executed }
 

@@ -24,11 +24,28 @@ func NewRand(seed uint64) *Rand {
 // Fork derives an independent stream keyed by id. Streams forked with
 // distinct ids from the same parent are statistically independent.
 func (r *Rand) Fork(id uint64) *Rand {
-	// Mix the id through one SplitMix64 round of a copy of the state.
-	z := r.state + 0x9e3779b97f4a7c15*(id+1)
+	return &Rand{state: forkState(r.state, id)}
+}
+
+// ForkInto is the allocation-free form of Fork: it reseeds dst to the
+// exact stream Fork(id) would return, so reusable harnesses (the sim
+// arena) can rewire their per-subsystem streams in place and stay
+// bit-identical to a freshly forked execution.
+func (r *Rand) ForkInto(id uint64, dst *Rand) {
+	dst.state = forkState(r.state, id)
+}
+
+// Reseed resets the generator in place to the state NewRand(seed) would
+// produce.
+func (r *Rand) Reseed(seed uint64) { r.state = seed }
+
+// forkState mixes the id through one SplitMix64 round of a copy of the
+// parent state; the parent is never advanced.
+func forkState(state, id uint64) uint64 {
+	z := state + 0x9e3779b97f4a7c15*(id+1)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return &Rand{state: z ^ (z >> 31)}
+	return z ^ (z >> 31)
 }
 
 // Uint64 returns the next 64 uniformly random bits.

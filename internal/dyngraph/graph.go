@@ -118,6 +118,45 @@ func NewDynamic(n int, initial []Edge) *Dynamic {
 	return g
 }
 
+// Reset rewinds the graph to time 0 over n nodes with a fresh initial
+// edge set, reusing every buffer the previous execution grew: presence
+// and history maps keep their buckets (history interval slices are
+// truncated in place, so re-adding an edge seen before allocates
+// nothing), adjacency slices keep their capacity, and subscribers stay
+// registered — component wiring outlives individual runs. No
+// EdgeAdded/EdgeRemoved notifications fire for either the discarded or
+// the new initial edges, matching NewDynamic. The topology-change epoch
+// is bumped (not rewound) so cached consumers like DistanceMatrix
+// revalidate.
+func (g *Dynamic) Reset(n int, initial []Edge) {
+	if n < 1 {
+		panic("dyngraph: need at least one node")
+	}
+	for len(g.adj) < n {
+		g.adj = append(g.adj, nil)
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	g.n = n
+	clear(g.present)
+	for e, ivs := range g.hist {
+		g.hist[e] = ivs[:0]
+	}
+	g.lastT = 0
+	g.adds, g.removes = 0, 0
+	g.epoch++
+	for _, e := range initial {
+		g.check(e)
+		if g.present[e] {
+			continue
+		}
+		g.present[e] = true
+		g.linkAdj(e)
+		g.hist[e] = append(g.hist[e], Interval{Start: 0, End: math.Inf(1)})
+	}
+}
+
 // linkAdj inserts each endpoint into the other's sorted neighbor slice.
 func (g *Dynamic) linkAdj(e Edge) {
 	g.adj[e.U] = insertSorted(g.adj[e.U], e.V)

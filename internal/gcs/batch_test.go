@@ -1,0 +1,88 @@
+package gcs
+
+import (
+	"math"
+	"testing"
+
+	"gcs/internal/clock"
+	"gcs/internal/des"
+)
+
+// solo builds an isolated node (no transport) on a fresh engine.
+func solo(p Params) (*des.Engine, *Node) {
+	en := des.NewEngine()
+	hw := clock.New(en, 1)
+	return en, New(0, hw, p, nil, nil)
+}
+
+// TestOnValuesFoldsBatchToMax pins the coalesced ingest rule: a batch
+// folds through the max-estimate rule in a single pass, reaching the
+// same logical clock and estimate a message-at-a-time ingest of the same
+// values at the same instant would, while counting every value.
+func TestOnValuesFoldsBatchToMax(t *testing.T) {
+	p := Params{Rho: 0.01, MaxDelay: 0.01, BeaconEvery: 0.1, JumpThreshold: 0}
+	_, batched := solo(p)
+	_, staged := solo(p)
+
+	values := []float64{5, 9, 7}
+	batched.OnValues(1, values)
+	for _, v := range values {
+		staged.OnMessage(1, v)
+	}
+
+	bs, ss := batched.Snap(), staged.Snap()
+	if bs.Logical != ss.Logical || bs.MaxEstimate != ss.MaxEstimate {
+		t.Fatalf("batch fold diverged: batched (L=%v est=%v), staged (L=%v est=%v)",
+			bs.Logical, bs.MaxEstimate, ss.Logical, ss.MaxEstimate)
+	}
+	if bs.Messages != 3 {
+		t.Fatalf("batch counted %d messages, want 3", bs.Messages)
+	}
+	// With threshold 0 the fold jumps straight to the batch max; the
+	// staged ingest jumps per raising value. Only the counter may differ.
+	if bs.Jumps != 1 || ss.Jumps != 2 {
+		t.Fatalf("jump counters = batched %d, staged %d; want 1 and 2", bs.Jumps, ss.Jumps)
+	}
+	if bs.Logical < 9 {
+		t.Fatalf("logical %v below batch max 9", bs.Logical)
+	}
+}
+
+// TestOnValuesEmptyBatchIsNoOp guards the degenerate call.
+func TestOnValuesEmptyBatchIsNoOp(t *testing.T) {
+	_, nd := solo(Params{})
+	nd.OnValues(1, nil)
+	if s := nd.Snap(); s.Messages != 0 || !math.IsInf(s.MaxEstimate, -1) {
+		t.Fatalf("empty batch mutated the node: %+v", s)
+	}
+}
+
+// TestNodeResetClearsState pins the arena-reuse contract: after a
+// hardware-clock and node reset the node is indistinguishable from a
+// freshly constructed one — counters zero, no estimates, logical clock
+// rebased to the fresh hardware reading.
+func TestNodeResetClearsState(t *testing.T) {
+	p := Params{Rho: 0.01, MaxDelay: 0.01, BeaconEvery: 0.1, JumpThreshold: 0}
+	en, nd := solo(p)
+	nd.Start(0)
+	en.Run(1)
+	nd.OnMessage(1, 50)
+	if s := nd.Snap(); s.Jumps == 0 || s.Beacons == 0 {
+		t.Fatalf("warm-up execution degenerate: %+v", s)
+	}
+
+	en.Reset()
+	nd.HW().Reset(1)
+	nd.Reset(p)
+	s := nd.Snap()
+	if s.Logical != 0 || s.Hardware != 0 || s.Messages != 0 || s.Jumps != 0 ||
+		s.Beacons != 0 || s.Discoveries != 0 || s.Fast || !math.IsInf(s.MaxEstimate, -1) {
+		t.Fatalf("reset node retains state: %+v", s)
+	}
+	// The node runs normally after reset.
+	nd.Start(0)
+	en.Run(1)
+	if s := nd.Snap(); s.Beacons == 0 || s.Logical <= 0 {
+		t.Fatalf("node inert after reset: %+v", s)
+	}
+}

@@ -188,9 +188,11 @@ type Node struct {
 	// per-source norms only ever increase, so it never needs a rescan.
 	maxNorm float64
 	catchup clock.TimerRef
-	// recomputeFn is the long-lived func value backing catch-up timers,
-	// so rearming one does not allocate a method-value closure.
+	// recomputeFn and beaconFn are the long-lived func values backing
+	// catch-up timers and the periodic beacon loop, so rearming either
+	// does not allocate a closure.
 	recomputeFn func()
+	beaconFn    func()
 
 	msgs, jumps, beacons, discoveries int
 	fast                              bool
@@ -222,7 +224,29 @@ func New(id int, hw *clock.HardwareClock, p Params,
 		maxNorm:   math.Inf(-1),
 	}
 	nd.recomputeFn = nd.recompute
+	nd.beaconFn = func() {
+		nd.emit()
+		nd.hw.SetTimer(nd.p.BeaconEvery, "gcs.beacon", nd.beaconFn)
+	}
 	return nd
+}
+
+// Reset returns the node to its initial state under (possibly new)
+// parameters, keeping the wiring closures, the estimate map's buckets,
+// and the neighbor scratch buffer, so re-running a node on a reused
+// arena allocates nothing. The hardware clock must already have been
+// Reset; the logical clock restarts at the (fresh) hardware reading.
+func (nd *Node) Reset(p Params) {
+	p = p.WithDefaults()
+	p.validate()
+	nd.p = p
+	h := nd.hw.Now()
+	nd.baseH, nd.baseL, nd.mult = h, h, 1
+	clear(nd.est)
+	nd.maxNorm = math.Inf(-1)
+	nd.catchup = clock.TimerRef{}
+	nd.msgs, nd.jumps, nd.beacons, nd.discoveries = 0, 0, 0, 0
+	nd.fast = false
 }
 
 // SetUnicast installs the point-to-point send used by neighbor
@@ -260,12 +284,7 @@ func (nd *Node) Start(phase float64) {
 	if phase < 0 {
 		panic("gcs: negative beacon phase")
 	}
-	var tick func()
-	tick = func() {
-		nd.emit()
-		nd.hw.SetTimer(nd.p.BeaconEvery, "gcs.beacon", tick)
-	}
-	nd.hw.SetTimer(phase, "gcs.beacon", tick)
+	nd.hw.SetTimer(phase, "gcs.beacon", nd.beaconFn)
 }
 
 // Logical returns L_u at the engine's current time.
@@ -294,6 +313,35 @@ func (nd *Node) OnMessage(from int, value float64) {
 	h := nd.hw.Now()
 	nd.msgs++
 	norm := value - nd.ageFactor()*h
+	if e, ok := nd.est[from]; !ok || norm > e.norm {
+		nd.est[from] = estimate{norm: norm}
+		if norm > nd.maxNorm {
+			nd.maxNorm = norm
+		}
+	}
+	nd.recompute()
+}
+
+// OnValues ingests a coalesced batch of beacons from one sender in a
+// single pass: only the largest value can raise the stored estimate (all
+// values share the ingest instant, so aging is identical), so the batch
+// folds to one max scan, one estimate update, and one recompute instead
+// of len(values) of each. Ingesting the values one OnMessage at a time
+// reaches the same estimate and regime; only the jump counter can differ
+// (a staged arrival may jump more than once where the fold jumps once).
+func (nd *Node) OnValues(from int, values []float64) {
+	if len(values) == 0 {
+		return
+	}
+	h := nd.hw.Now()
+	nd.msgs += len(values)
+	maxV := values[0]
+	for _, v := range values[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	norm := maxV - nd.ageFactor()*h
 	if e, ok := nd.est[from]; !ok || norm > e.norm {
 		nd.est[from] = estimate{norm: norm}
 		if norm > nd.maxNorm {

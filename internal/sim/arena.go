@@ -1,0 +1,54 @@
+package sim
+
+// Arena owns one reusable Simulation and re-runs configs through it.
+// Each run of a config produces a report bit-identical to a freshly
+// wired Run(cfg) — the arena reseeds every PRNG stream and resets every
+// component in place — but the O(n) per-run wiring (engine event pool,
+// graph adjacency and history storage, transport flight arena, clocks,
+// nodes, trace and sample buffers, the analytic bound's topology BFS) is
+// paid once per shape and then reused: re-running a same-shape
+// churn-free config allocates nothing, which TestArenaSecondRunZeroAlloc
+// pins. Churn configs come close but not to zero: the volatile candidate
+// set is cached, but each run still re-arms O(ExtraEdges) per-candidate
+// timer closures (rotating stars, a handful of rotation closures).
+// Growing to a larger N reuses the smaller prefix and allocates only the
+// delta, so ascending sweeps (the lower-bound n-sweep) stay cheap.
+//
+// An Arena is single-threaded, like the Simulation it owns; parallel
+// sweeps give each worker its own Arena (see RunSweep).
+type Arena struct {
+	s  *Simulation
+	tr *TraceRecorder
+}
+
+// NewArena returns an empty arena; the first Sim or Run call wires it.
+func NewArena() *Arena { return &Arena{} }
+
+// Sim returns the arena's simulation wired for cfg, creating it on first
+// use and resetting it in place afterwards.
+func (a *Arena) Sim(cfg Config) *Simulation {
+	if a.s == nil {
+		a.s = New(cfg)
+	} else {
+		a.s.Reset(cfg)
+	}
+	return a.s
+}
+
+// Run wires the arena for cfg and executes the scenario to its horizon.
+func (a *Arena) Run(cfg Config) SkewReport {
+	return a.Sim(cfg).Run()
+}
+
+// Trace returns the arena's reusable trace recorder reshaped for n
+// nodes and capacity samples, creating it on first use. Like the
+// simulation it accompanies, the recorder's buffers are reused across
+// runs; its previous contents are dropped by the reshape.
+func (a *Arena) Trace(n, capacity int) *TraceRecorder {
+	if a.tr == nil {
+		a.tr = NewTraceRecorder(n, capacity)
+	} else {
+		a.tr.ResetSize(n, capacity)
+	}
+	return a.tr
+}

@@ -2,67 +2,90 @@ package sim
 
 import "testing"
 
-// The benchmark suite tracks the per-run cost of full scenarios — wiring,
-// beacon traffic, churn, and skew sampling included — across the workload
-// shapes the paper's evaluation sweeps: plain rings and grids at two
-// scales, the hub-heavy maximally-dynamic rotating star, and a
-// churn-heavy volatile overlay. `gcsim bench` runs the suite and emits
-// BENCH_<rev>.json for cross-PR tracking.
+// The benchmark suite tracks the per-run cost of full scenarios — beacon
+// traffic, churn, and skew sampling included — across the workload
+// shapes the paper's evaluation sweeps: plain rings and grids at three
+// scales (up to the 10k-node smoke scenario), the hub-heavy
+// maximally-dynamic rotating star, and a churn-heavy volatile overlay.
+// Every benchmark runs through a reused Arena with one warm-up run
+// before the measured loop, so the numbers report the steady-state
+// per-run cost a sweep actually pays — wiring is amortized away, and
+// same-shape re-runs are allocation-free (TestArenaSecondRunZeroAlloc).
+// `gcsim bench` runs the suite and emits BENCH_<rev>.json for cross-PR
+// tracking.
 
 func benchScenario(b *testing.B, cfg Config) {
 	b.Helper()
 	b.ReportAllocs()
+	a := NewArena()
+	// Warm the arena outside the measured loop (b.Loop resets the timer
+	// and allocation counters on its first call).
+	if rpt := a.Run(cfg); rpt.MaxGlobalSkew > rpt.Bound {
+		b.Fatalf("skew %v exceeded bound %v", rpt.MaxGlobalSkew, rpt.Bound)
+	}
 	for b.Loop() {
-		rpt := Run(cfg)
+		rpt := a.Run(cfg)
 		if rpt.MaxGlobalSkew > rpt.Bound {
 			b.Fatalf("skew %v exceeded bound %v", rpt.MaxGlobalSkew, rpt.Bound)
 		}
 	}
 }
 
-// BenchmarkRing256 seeds the performance trajectory: one full 256-node
-// ring simulation per iteration. PR-1 baseline: ~72.5ms/op, ~544k
-// allocs/op; the zero-allocation hot path PR took it to ~26ms/op, ~7k
-// allocs/op.
-func BenchmarkRing256(b *testing.B) {
-	benchScenario(b, Config{
-		N:        256,
+func ringConfig(n int) Config {
+	return Config{
+		N:        n,
 		Seed:     1,
 		Horizon:  10,
 		Rho:      0.01,
 		MaxDelay: 0.01,
 		Topology: TopologySpec{Kind: TopoRing},
 		Driver:   DriverSpec{Kind: DriveRandomWalk, Interval: 1},
-	})
+	}
+}
+
+func gridConfig(w, h int) Config {
+	cfg := ringConfig(w * h)
+	cfg.Topology = TopologySpec{Kind: TopoGrid, W: w, H: h}
+	return cfg
+}
+
+// BenchmarkRing256 seeds the performance trajectory: one full 256-node
+// ring simulation per iteration. PR-1 baseline: ~72.5ms/op, ~544k
+// allocs/op; the zero-allocation hot path PR took it to ~26ms/op, ~7k
+// allocs/op; arena reuse removes the remaining per-run wiring.
+func BenchmarkRing256(b *testing.B) {
+	benchScenario(b, ringConfig(256))
 }
 
 // BenchmarkRing1024 scales the ring 4x to expose superlinear costs
 // (diameter-dependent bound computation, heap depth).
 func BenchmarkRing1024(b *testing.B) {
-	benchScenario(b, Config{
-		N:        1024,
-		Seed:     1,
-		Horizon:  10,
-		Rho:      0.01,
-		MaxDelay: 0.01,
-		Topology: TopologySpec{Kind: TopoRing},
-		Driver:   DriverSpec{Kind: DriveRandomWalk, Interval: 1},
-	})
+	benchScenario(b, ringConfig(1024))
+}
+
+// BenchmarkRing4096 is the first past-4k scale point of the sweep
+// grids: steady-state cost must stay linear in n.
+func BenchmarkRing4096(b *testing.B) {
+	benchScenario(b, ringConfig(4096))
+}
+
+// BenchmarkRing10k is the 10k-node smoke scenario: the scale target the
+// arena/sweep/coalescing work exists for. It must complete comfortably
+// within the CI budget (tens of seconds for warm-up plus one iteration).
+func BenchmarkRing10k(b *testing.B) {
+	benchScenario(b, ringConfig(10000))
 }
 
 // BenchmarkGrid1024 runs a 32x32 torus-free grid: 4x the ring's edge
 // density per node, a much smaller diameter, and heavier broadcast
 // fan-out per beacon.
 func BenchmarkGrid1024(b *testing.B) {
-	benchScenario(b, Config{
-		N:        1024,
-		Seed:     1,
-		Horizon:  10,
-		Rho:      0.01,
-		MaxDelay: 0.01,
-		Topology: TopologySpec{Kind: TopoGrid, W: 32, H: 32},
-		Driver:   DriverSpec{Kind: DriveRandomWalk, Interval: 1},
-	})
+	benchScenario(b, gridConfig(32, 32))
+}
+
+// BenchmarkGrid4096 is the 64x64 grid scale point.
+func BenchmarkGrid4096(b *testing.B) {
+	benchScenario(b, gridConfig(64, 64))
 }
 
 // BenchmarkRotatingStar256 is the hub-heavy, maximally dynamic workload:
@@ -99,4 +122,50 @@ func BenchmarkVolatileChurn512(b *testing.B) {
 			ExtraEdges: 256,
 		},
 	})
+}
+
+// BenchmarkSweepGradientGrid measures the parallel sweep runner over the
+// gradient verification grid shape (small n so CI stays fast): the
+// wall-clock ratio between this and its Serial twin is the speedup the
+// `gcsim sweep`/`gcsim gradient` -workers flag buys.
+func BenchmarkSweepGradientGrid(b *testing.B) {
+	cells := benchSweepCells()
+	b.ReportAllocs()
+	for b.Loop() {
+		RunSweep(cells, 0)
+	}
+}
+
+// BenchmarkSweepGradientGridSerial is the workers=1 baseline for
+// BenchmarkSweepGradientGrid.
+func BenchmarkSweepGradientGridSerial(b *testing.B) {
+	cells := benchSweepCells()
+	b.ReportAllocs()
+	for b.Loop() {
+		RunSweep(cells, 1)
+	}
+}
+
+func benchSweepCells() []SweepCell {
+	var cells []SweepCell
+	for _, n := range []int{64, 128} {
+		for _, drv := range []DriverSpec{
+			{Kind: DriveRandomWalk, Interval: 0.5},
+			{Kind: DriveBangBang, Interval: 0.7},
+		} {
+			for _, topo := range []TopologySpec{
+				{Kind: TopoRing},
+				{Kind: TopoLine},
+			} {
+				cells = append(cells, SweepCell{
+					Name: topo.Kind.String(),
+					Cfg: Config{
+						N: n, Seed: CellSeed(1, len(cells)), Horizon: 10,
+						Rho: 0.01, MaxDelay: 0.01, Topology: topo, Driver: drv,
+					},
+				})
+			}
+		}
+	}
+	return cells
 }

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCoalescingEquivalence pins the semantic-preservation half of
+// beacon coalescing: on executions where no two same-tick sends share a
+// directed edge — static Ring and Star topologies under both driver
+// families — the coalesced run (the default) must produce a SkewReport
+// bit-identical to the uncoalesced one, delay draws included (a
+// singleton batch draws its delay exactly where an uncoalesced send
+// would).
+func TestCoalescingEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"Ring/RandomWalk", Config{
+			N: 32, Seed: 4, Horizon: 12, Rho: 0.01, MaxDelay: 0.01,
+			Topology: TopologySpec{Kind: TopoRing},
+			Driver:   DriverSpec{Kind: DriveRandomWalk, Interval: 0.5},
+		}},
+		{"Ring/BangBang", Config{
+			N: 32, Seed: 4, Horizon: 12, Rho: 0.01, MaxDelay: 0.01,
+			Topology: TopologySpec{Kind: TopoRing},
+			Driver:   DriverSpec{Kind: DriveBangBang, Interval: 0.7},
+		}},
+		{"Star/RandomWalk", Config{
+			N: 24, Seed: 8, Horizon: 12, Rho: 0.01, MaxDelay: 0.01,
+			Topology: TopologySpec{Kind: TopoStar},
+			Driver:   DriverSpec{Kind: DriveRandomWalk, Interval: 0.5},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			coalesced := Run(tc.cfg)
+			plain := tc.cfg
+			plain.NoCoalesce = true
+			uncoalesced := Run(plain)
+			if !reflect.DeepEqual(coalesced, uncoalesced) {
+				t.Fatalf("coalesced run diverged from uncoalesced:\n  coalesced   = %+v\n  uncoalesced = %+v",
+					coalesced, uncoalesced)
+			}
+			if coalesced.Transport.Coalesced != 0 {
+				t.Fatalf("static %s run formed %d multi-value batches; equivalence case must be all singletons",
+					tc.name, coalesced.Transport.Coalesced)
+			}
+			if coalesced.Transport.Delivered == 0 {
+				t.Fatalf("degenerate execution: %+v", coalesced)
+			}
+		})
+	}
+}
+
+// TestCoalescingSkewInvariantsUnderChurn runs the hub-heavy and
+// churn-heavy scenarios — where multi-value batches can actually form —
+// in both modes and asserts each execution independently satisfies the
+// skew invariants and conserves traffic accounting (every sent value is
+// delivered or dropped; batching must not lose or duplicate values).
+func TestCoalescingSkewInvariantsUnderChurn(t *testing.T) {
+	base := []Config{
+		{
+			N: 24, Seed: 6, Horizon: 20, Rho: 0.01, MaxDelay: 0.01,
+			Driver: DriverSpec{Kind: DriveRandomWalk, Interval: 0.5},
+			Churn:  ChurnSpec{Kind: ChurnRotatingStar, Period: 1, Overlap: 0.25},
+		},
+		churnyConfig(21),
+	}
+	for _, cfg := range base {
+		for _, noCoalesce := range []bool{false, true} {
+			cfg.NoCoalesce = noCoalesce
+			s := New(cfg)
+			rpt := s.Run()
+			assertSkewInvariants(t, cfg, rpt)
+			// Values still in flight at the horizon are neither delivered
+			// nor dropped; they live on currently present edges only.
+			inFlight := uint64(0)
+			for _, e := range s.Graph.CurrentEdges() {
+				inFlight += uint64(s.Net.InFlight(e))
+			}
+			ts := rpt.Transport
+			if ts.Sent != ts.Delivered+ts.Dropped+inFlight {
+				t.Fatalf("traffic not conserved (noCoalesce=%v): %+v with %d in flight",
+					noCoalesce, ts, inFlight)
+			}
+		}
+	}
+}

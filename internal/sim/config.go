@@ -9,8 +9,6 @@ import (
 	"fmt"
 	"math"
 
-	"gcs/internal/clock"
-	"gcs/internal/des"
 	"gcs/internal/dyngraph"
 	"gcs/internal/gcs"
 )
@@ -102,25 +100,15 @@ func (k DriverKind) String() string {
 }
 
 // DriverSpec is a declarative per-node clock driver choice. The same
-// spec instantiates one driver per node: RandomWalk forks an independent
-// stream per node, BangBang anti-phases odd and even nodes (the worst
-// benign pattern for adjacent skew).
+// spec instantiates one driver per node (run.go's reusable driverState,
+// which reproduces the clock package's driver semantics with reseedable
+// per-node streams): RandomWalk forks an independent stream per node,
+// BangBang anti-phases odd and even nodes (the worst benign pattern for
+// adjacent skew).
 type DriverSpec struct {
 	Kind DriverKind
 	// Interval is the rate-change period (RandomWalk, BangBang).
 	Interval float64
-}
-
-func (s DriverSpec) build(node int, rho float64, r *des.Rand) clock.Driver {
-	switch s.Kind {
-	case DriveConstant:
-		return clock.ConstantRate{Rate: 1}
-	case DriveRandomWalk:
-		return clock.RandomWalk{Rho: rho, Interval: s.Interval, Rand: r.Fork(uint64(node))}
-	case DriveBangBang:
-		return clock.BangBang{Rho: rho, Interval: s.Interval, StartHigh: node%2 == 0}
-	}
-	panic(fmt.Sprintf("sim: unknown driver kind %d", s.Kind))
 }
 
 // ChurnKind selects the topology-change process.
@@ -195,6 +183,16 @@ type Config struct {
 	// their current hop distance, for comparison against GradientBound.
 	// Off by default — the check reads n^2 pairs per sample.
 	CheckGradient bool
+
+	// NoCoalesce disables transport beacon coalescing (on by default):
+	// with coalescing, values sent over the same directed edge within one
+	// engine event share a single pooled multi-value delivery, capping
+	// delivery cost at one event per directed edge per tick. The current
+	// algorithm sends at most one value per directed edge per tick, so
+	// every batch is a singleton and the coalesced execution is
+	// bit-identical to the uncoalesced one (pinned by the equivalence
+	// tests); the cap protects future multi-send-per-tick workloads.
+	NoCoalesce bool
 }
 
 // WithDefaults returns the config with unset fields filled in.

@@ -23,6 +23,9 @@ type GradientChecker struct {
 	// maxDist is the largest bucket with data so far.
 	maxDist int
 	samples int
+	// recomputeBase offsets the distance matrix's cumulative BFS count so
+	// Recomputes stays per-run when the checker is reused across runs.
+	recomputeBase int
 }
 
 // newGradientChecker sizes a checker for n nodes; distances are at most
@@ -32,6 +35,22 @@ func newGradientChecker(n int) *GradientChecker {
 		dm:        dyngraph.NewDistanceMatrix(n),
 		maxByDist: make([]float64, n),
 	}
+}
+
+// nodes returns the node count the checker was sized for.
+func (gc *GradientChecker) nodes() int { return len(gc.maxByDist) }
+
+// reset clears the buckets for a new run over the same node count,
+// keeping the distance matrix's storage warm (the graph's epoch only
+// grows across arena resets, so stale cached distances revalidate on the
+// first observe).
+func (gc *GradientChecker) reset() {
+	for i := range gc.maxByDist {
+		gc.maxByDist[i] = 0
+	}
+	gc.maxDist = 0
+	gc.samples = 0
+	gc.recomputeBase = gc.dm.Recomputes()
 }
 
 // observe folds one sample into the buckets: vals[i] is node i's logical
@@ -75,8 +94,8 @@ func (gc *GradientChecker) MaxSkewAt(d int) float64 {
 func (gc *GradientChecker) Samples() int { return gc.samples }
 
 // Recomputes returns the number of distance-matrix BFS sweeps performed
-// (one per distinct topology epoch observed).
-func (gc *GradientChecker) Recomputes() int { return gc.dm.Recomputes() }
+// during the current run (one per distinct topology epoch observed).
+func (gc *GradientChecker) Recomputes() int { return gc.dm.Recomputes() - gc.recomputeBase }
 
 // PerDistance returns a fresh slice s with s[d] = MaxSkewAt(d) for d in
 // [0, MaxDist]; s[0] is always 0. Empty (nil) when no samples had any

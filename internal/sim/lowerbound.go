@@ -19,6 +19,8 @@ package sim
 // repo demonstrates.
 
 import (
+	"math"
+
 	"gcs/internal/clock"
 	"gcs/internal/dyngraph"
 	"gcs/internal/transport"
@@ -160,14 +162,15 @@ func lowerBoundDists(n int) (dists []int, isB []bool) {
 func NewLowerBound(cfg LowerBoundConfig) *Simulation {
 	cfg = cfg.WithDefaults()
 	dists, isB := lowerBoundDists(cfg.N)
-	return newLowerBoundWired(cfg, dists, isB)
+	return newLowerBoundWired(NewArena(), cfg, dists, isB)
 }
 
 // newLowerBoundWired does NewLowerBound's wiring from a precomputed
 // layout, so callers that already ran the 0/1-BFS (RunLowerBound needs
-// the distances for its report too) do not recompute it. cfg must
+// the distances for its report too) do not recompute it, onto a reusable
+// arena, so sweeps pay the O(n) base wiring only when n grows. cfg must
 // already have defaults applied.
-func newLowerBoundWired(cfg LowerBoundConfig, dists []int, isB []bool) *Simulation {
+func newLowerBoundWired(a *Arena, cfg LowerBoundConfig, dists []int, isB []bool) *Simulation {
 	base := Config{
 		N:           cfg.N,
 		Seed:        cfg.Seed,
@@ -179,7 +182,7 @@ func newLowerBoundWired(cfg LowerBoundConfig, dists []int, isB []bool) *Simulati
 		SampleEvery: cfg.SampleEvery,
 	}
 	base.Node.BeaconEvery = cfg.BeaconEvery
-	s := New(base)
+	s := a.Sim(base)
 
 	// The adversary's delay mask: both DelayFns are built once here, so
 	// the per-send mask lookup allocates nothing. An edge belongs to
@@ -235,6 +238,13 @@ type LowerBoundResult struct {
 // clock time series. Results are deterministic in the config: same
 // config, bit-identical result.
 func RunLowerBound(cfg LowerBoundConfig, tr *TraceRecorder) LowerBoundResult {
+	return NewArena().RunLowerBound(cfg, tr)
+}
+
+// RunLowerBound executes one Theorem 4.1 run on the arena's reusable
+// simulation; see the package-level RunLowerBound. Reports are
+// bit-identical to freshly wired runs.
+func (a *Arena) RunLowerBound(cfg LowerBoundConfig, tr *TraceRecorder) LowerBoundResult {
 	cfg = cfg.WithDefaults()
 	// One layout computation serves the wiring, the reported maxDist,
 	// and the Omega curve.
@@ -245,7 +255,7 @@ func RunLowerBound(cfg LowerBoundConfig, tr *TraceRecorder) LowerBoundResult {
 			maxDist = d
 		}
 	}
-	s := newLowerBoundWired(cfg, dists, isB)
+	s := newLowerBoundWired(a, cfg, dists, isB)
 	if tr != nil {
 		s.AttachTrace(tr)
 	}
@@ -266,14 +276,46 @@ func RunLowerBound(cfg LowerBoundConfig, tr *TraceRecorder) LowerBoundResult {
 
 // LowerBoundSweep runs the scenario at each node count in ns (base's N
 // is ignored) and returns one result per n. The sweep demonstrates the
-// Omega(n) growth: observed max global skew scales linearly with n.
+// Omega(n) growth: observed max global skew scales linearly with n. One
+// arena is reused across the whole sweep, so each step's wiring cost is
+// only the delta over the largest n seen so far — run ascending sweeps
+// for the cheapest schedule.
 func LowerBoundSweep(base LowerBoundConfig, ns []int) []LowerBoundResult {
-	out := make([]LowerBoundResult, 0, len(ns))
-	for _, n := range ns {
+	// A fixed horizon copied from a single run would cut large-n runs
+	// short of banking their full Omega(n) skew; always re-derive it from
+	// the rate schedule per n.
+	base.Horizon = 0
+	return LowerBoundSweepParallel(base, ns, 1, nil)
+}
+
+// LowerBoundSweepParallel fans the n-sweep across workers goroutines
+// (<= 0 means GOMAXPROCS), each owning a private arena and trace
+// recorder reshaped per run, and returns results in ns order —
+// bit-identical for every worker count, like RunSweep. base.Horizon is
+// honored as given (the CLI passes the user's -horizon through); leave
+// it 0 to re-derive the horizon from the rate schedule per n, which a
+// Theorem 4.1 demonstration needs. collect, when non-nil, is called
+// once per completed run from the worker goroutine with the sweep index
+// and the worker's recorder; the recorder is only valid for the
+// duration of the call (it is reshaped for the worker's next run), so
+// consumers must extract what they need synchronously. With a nil
+// collect no traces are recorded.
+func LowerBoundSweepParallel(base LowerBoundConfig, ns []int, workers int,
+	collect func(i int, res LowerBoundResult, tr *TraceRecorder)) []LowerBoundResult {
+	results := make([]LowerBoundResult, len(ns))
+	forEachCell(len(ns), workers, func(i int, a *Arena) {
 		cfg := base
-		cfg.N = n
-		cfg.Horizon = 0 // re-derive per n
-		out = append(out, RunLowerBound(cfg, nil))
-	}
-	return out
+		cfg.N = ns[i]
+		// An unset base Horizon re-derives per n in WithDefaults.
+		cfg = cfg.WithDefaults()
+		var tr *TraceRecorder
+		if collect != nil {
+			tr = a.Trace(cfg.N, int(math.Ceil(cfg.Horizon/cfg.SampleEvery))+2)
+		}
+		results[i] = a.RunLowerBound(cfg, tr)
+		if collect != nil {
+			collect(i, results[i], tr)
+		}
+	})
+	return results
 }

@@ -37,6 +37,24 @@ func TestLowerBoundOmegaGrowth(t *testing.T) {
 	}
 }
 
+// TestLowerBoundSweepMatchesIndividualRuns pins the sweep's arena reuse:
+// sharing one simulation across the n-sweep must not change any result
+// relative to independently wired runs.
+func TestLowerBoundSweepMatchesIndividualRuns(t *testing.T) {
+	base := LowerBoundConfig{Seed: 3}
+	ns := []int{32, 48, 64}
+	swept := LowerBoundSweep(base, ns)
+	for i, n := range ns {
+		cfg := base
+		cfg.N = n
+		want := RunLowerBound(cfg, nil)
+		if !reflect.DeepEqual(swept[i], want) {
+			t.Fatalf("n=%d: sweep result diverged from individual run:\n  sweep = %+v\n  fresh = %+v",
+				n, swept[i], want)
+		}
+	}
+}
+
 // TestLowerBoundSkewPersists pins the "forever" half of the argument:
 // the banked skew does not decay after every schedule has switched back
 // to rate 1 — the executions stay indistinguishable, so the final skew

@@ -49,10 +49,18 @@ type SkewReport struct {
 	// largest |L_u - L_v| observed over any pair at current hop distance
 	// d, indexed by d (index 0 unused). Nil when the check is off.
 	PerDistanceSkew []float64
+	// DistanceRecomputes counts the gradient checker's distance-matrix
+	// BFS sweeps (one per topology-change epoch observed); 0 when the
+	// check is off.
+	DistanceRecomputes int
 }
 
 // Simulation is one fully wired scenario, exposed so tests can inspect
-// mid-run state; most callers use Run.
+// mid-run state; most callers use Run. A Simulation is reusable: Reset
+// rewires it in place for another config, recycling the engine's event
+// pool, the graph's adjacency and history storage, the transport's
+// flight arena, and every per-node object, so repeated runs of
+// same-shape configs allocate nothing (see Arena).
 type Simulation struct {
 	Cfg    Config
 	Engine *des.Engine
@@ -61,12 +69,46 @@ type Simulation struct {
 	Clocks []*clock.HardwareClock
 	Nodes  []*gcs.Node
 
+	// allClocks/allNodes/allDrivers are the grow-only pools backing the
+	// public slices, which are views of the first Cfg.N entries.
+	allClocks  []*clock.HardwareClock
+	allNodes   []*gcs.Node
+	allDrivers []*driverState
+
+	// Reseedable PRNG streams, one per subsystem, matching the fork ids a
+	// fresh wiring would draw so reuse stays bit-identical.
+	root      *des.Rand
+	delayRand *des.Rand
+	driveRand *des.Rand
+	phaseRand *des.Rand
+	// delayFn is the long-lived base delay law over delayRand; it is
+	// rebuilt only when MaxDelay changes.
+	delayFn  transport.DelayFn
+	delayMax float64
+	// onMessage is the single delivery handler shared by every node.
+	onMessage transport.Handler
+	// sampleFn is the long-lived periodic skew sampler.
+	sampleFn func()
+	// wired records that the one-time wiring (discovery subscription) has
+	// happened; edgeCfg/boundCfg key the cached initial edge set and
+	// analytic bound.
+	wired       bool
+	edgeCfg     edgeKey
+	boundCfg    Config
+	boundOK     bool
+	bound       float64
 	report      SkewReport
 	lastSampleT float64
-	// initialEdges is the backbone edge set materialized once in New and
-	// reused by the churner setup (Topology.Edges is O(n) or worse, so it
-	// must not be recomputed per consumer).
+	// initialEdges is the backbone edge set materialized once per
+	// topology shape and reused by the churner setup (Topology.Edges is
+	// O(n) or worse, so it must not be recomputed per run).
 	initialEdges []dyngraph.Edge
+	// volCands caches the volatile-churn candidate set, which is a
+	// deterministic function of volKey (the rejection sampling draws from
+	// a dedicated root fork), so same-config re-runs skip the O(n) map
+	// rebuild.
+	volCands []dyngraph.Edge
+	volKey   volCandKey
 	// vals is the reused logical-clock sample buffer; edgeFn is the
 	// long-lived per-edge observer closure. Both exist so that observe
 	// allocates nothing per sample.
@@ -81,69 +123,217 @@ type Simulation struct {
 	started bool
 }
 
+// edgeKey identifies the inputs the cached initial edge set depends on.
+type edgeKey struct {
+	topo TopologySpec
+	n    int
+	star bool
+}
+
+// volCandKey identifies the inputs the cached volatile candidate set
+// depends on: the backbone shape, the node count, the request size, and
+// the seed driving the rejection sampling.
+type volCandKey struct {
+	edges edgeKey
+	seed  uint64
+	extra int
+}
+
+// driverState is one node's reusable rate driver: long-lived closures
+// over a reseedable PRNG, so rewiring a simulation re-installs drivers
+// without allocating. The install sequence — rate draws, event labels,
+// scheduling order — reproduces clock.RandomWalk/BangBang/ConstantRate
+// exactly, keeping arena runs bit-identical to freshly wired ones.
+type driverState struct {
+	s      *Simulation
+	hw     *clock.HardwareClock
+	rand   des.Rand
+	high   bool
+	stepFn func()
+	flipFn func()
+}
+
+func newDriverState(s *Simulation, hw *clock.HardwareClock) *driverState {
+	ds := &driverState{s: s, hw: hw}
+	ds.stepFn = func() {
+		cfg := &ds.s.Cfg
+		ds.hw.SetRate(ds.rand.Range(1-cfg.Rho, 1+cfg.Rho))
+		ds.s.Engine.ScheduleAfter(cfg.Driver.Interval*(0.5+ds.rand.Float64()), "clock.walk", ds.stepFn)
+	}
+	ds.flipFn = func() {
+		ds.flip()
+		ds.s.Engine.ScheduleAfter(ds.s.Cfg.Driver.Interval, "clock.bang", ds.flipFn)
+	}
+	return ds
+}
+
+func (ds *driverState) flip() {
+	if ds.high {
+		ds.hw.SetRate(1 + ds.s.Cfg.Rho)
+	} else {
+		ds.hw.SetRate(1 - ds.s.Cfg.Rho)
+	}
+	ds.high = !ds.high
+}
+
+// install arms the driver for one run. driveRand is the shared
+// per-wiring driver stream; node keys this node's fork of it.
+func (ds *driverState) install(node int, driveRand *des.Rand) {
+	cfg := &ds.s.Cfg
+	switch cfg.Driver.Kind {
+	case DriveConstant:
+		ds.hw.SetRate(1)
+	case DriveRandomWalk:
+		if cfg.Driver.Interval <= 0 {
+			panic("sim: RandomWalk interval must be positive")
+		}
+		driveRand.ForkInto(uint64(node), &ds.rand)
+		ds.hw.SetRate(ds.rand.Range(1-cfg.Rho, 1+cfg.Rho))
+		ds.s.Engine.ScheduleAfter(cfg.Driver.Interval*(0.5+ds.rand.Float64()), "clock.walk", ds.stepFn)
+	case DriveBangBang:
+		if cfg.Driver.Interval <= 0 {
+			panic("sim: BangBang interval must be positive")
+		}
+		ds.high = node%2 == 0
+		ds.flip()
+		ds.s.Engine.ScheduleAfter(cfg.Driver.Interval, "clock.bang", ds.flipFn)
+	default:
+		panic("sim: unknown driver kind")
+	}
+}
+
 // New wires a simulation from the config without running it.
 func New(cfg Config) *Simulation {
-	cfg = cfg.WithDefaults()
-	en := des.NewEngine()
-	root := des.NewRand(cfg.Seed)
-
-	var initial []dyngraph.Edge
-	if cfg.Churn.Kind != ChurnRotatingStar {
-		initial = cfg.Topology.Edges(cfg.N)
-	}
-	g := dyngraph.NewDynamic(cfg.N, initial)
-	net := transport.New(en, g,
-		transport.UniformDelay(cfg.MaxDelay, root.Fork(0xde1a9)), cfg.MaxDelay)
-
 	s := &Simulation{
-		Cfg:          cfg,
-		Engine:       en,
-		Graph:        g,
-		Net:          net,
-		Clocks:       make([]*clock.HardwareClock, cfg.N),
-		Nodes:        make([]*gcs.Node, cfg.N),
-		initialEdges: initial,
-		vals:         make([]float64, cfg.N),
+		Engine:    des.NewEngine(),
+		root:      des.NewRand(0),
+		delayRand: des.NewRand(0),
+		driveRand: des.NewRand(0),
+		phaseRand: des.NewRand(0),
 	}
 	s.edgeFn = func(e dyngraph.Edge) {
 		if d := math.Abs(s.vals[e.U] - s.vals[e.V]); d > s.report.MaxAdjacentSkew {
 			s.report.MaxAdjacentSkew = d
 		}
 	}
+	s.onMessage = func(m transport.Message) {
+		if m.Values != nil {
+			s.Nodes[m.To].OnValues(m.From, m.Values)
+		} else {
+			s.Nodes[m.To].OnMessage(m.From, m.Value)
+		}
+	}
+	s.sampleFn = func() {
+		s.observe()
+		s.Engine.ScheduleAfter(s.Cfg.SampleEvery, "sim.sample", s.sampleFn)
+	}
+	s.wire(cfg)
+	return s
+}
 
-	if cfg.CheckGradient {
-		s.gradient = newGradientChecker(cfg.N)
+// Reset rewires the simulation in place for cfg, reusing every warm
+// buffer and pooled object of the previous run. After Reset the
+// simulation behaves exactly like New(cfg) — executions are
+// bit-identical — but a same-shape rewire performs zero allocations.
+func (s *Simulation) Reset(cfg Config) { s.wire(cfg) }
+
+func (s *Simulation) wire(cfg Config) {
+	cfg = cfg.WithDefaults()
+	s.Cfg = cfg
+	s.Engine.Reset()
+	s.root.Reseed(cfg.Seed)
+
+	// Initial backbone edges, cached per topology shape.
+	star := cfg.Churn.Kind == ChurnRotatingStar
+	if key := (edgeKey{topo: cfg.Topology, n: cfg.N, star: star}); !s.wired || key != s.edgeCfg {
+		if star {
+			s.initialEdges = nil
+		} else {
+			s.initialEdges = cfg.Topology.Edges(cfg.N)
+		}
+		s.edgeCfg = key
 	}
 
-	onMessage := func(m transport.Message) {
-		s.Nodes[m.To].OnMessage(m.From, m.Value)
+	if s.Graph == nil {
+		s.Graph = dyngraph.NewDynamic(cfg.N, s.initialEdges)
+	} else {
+		s.Graph.Reset(cfg.N, s.initialEdges)
 	}
-	driveRand := root.Fork(0xd81fe)
+
+	if s.delayFn == nil || s.delayMax != cfg.MaxDelay {
+		s.delayMax = cfg.MaxDelay
+		s.delayFn = transport.UniformDelay(cfg.MaxDelay, s.delayRand)
+	}
+	s.root.ForkInto(0xde1a9, s.delayRand)
+	if s.Net == nil {
+		s.Net = transport.New(s.Engine, s.Graph, s.delayFn, cfg.MaxDelay)
+	} else {
+		s.Net.Reset(s.delayFn, cfg.MaxDelay)
+	}
+	s.Net.SetCoalescing(!cfg.NoCoalesce)
+
+	// Grow the node/clock/driver pools up to cfg.N, then reset the live
+	// prefix. The per-node wiring closures are created once, at pool
+	// growth; they read s.Net/s.Graph through the (stable) Simulation.
+	for len(s.allClocks) < cfg.N {
+		i := len(s.allClocks)
+		hw := clock.New(s.Engine, 1)
+		nd := gcs.New(i, hw, cfg.Node,
+			func(v float64) int { return s.Net.Broadcast(i, v) },
+			func(buf []int) []int { return s.Graph.AppendNeighbors(i, buf) })
+		nd.SetUnicast(func(to int, v float64) bool { return s.Net.Send(i, to, v) })
+		s.allClocks = append(s.allClocks, hw)
+		s.allNodes = append(s.allNodes, nd)
+		s.allDrivers = append(s.allDrivers, newDriverState(s, hw))
+	}
+	s.Clocks = s.allClocks[:cfg.N]
+	s.Nodes = s.allNodes[:cfg.N]
+
+	s.root.ForkInto(0xd81fe, s.driveRand)
 	for i := 0; i < cfg.N; i++ {
-		i := i
-		hw := clock.New(en, 1)
-		s.Clocks[i] = hw
-		s.Nodes[i] = gcs.New(i, hw, cfg.Node,
-			func(v float64) int { return net.Broadcast(i, v) },
-			func(buf []int) []int { return g.AppendNeighbors(i, buf) })
-		s.Nodes[i].SetUnicast(func(to int, v float64) bool { return net.Send(i, to, v) })
-		net.SetHandler(i, onMessage)
-		cfg.Driver.build(i, cfg.Rho, driveRand).Install(en, hw)
+		s.Clocks[i].Reset(1)
+		s.Nodes[i].Reset(cfg.Node)
+		s.Net.SetHandler(i, s.onMessage)
+		s.allDrivers[i].install(i, s.driveRand)
 	}
+
 	// Neighbor discovery: subscribe before the churner installs, so even
 	// edges a churn process adds at time 0 trigger an immediate beacon
-	// exchange across the fresh edge.
-	g.Subscribe(discovery{s})
-
-	if ch := s.churner(root); ch != nil {
-		ch.Install(en, g)
+	// exchange across the fresh edge. The graph keeps its subscribers
+	// across Reset, so this happens exactly once per Simulation.
+	if !s.wired {
+		s.Graph.Subscribe(discovery{s})
+		s.wired = true
 	}
 
-	phaseRand := root.Fork(0x9a5e)
+	if ch := s.churner(s.root); ch != nil {
+		ch.Install(s.Engine, s.Graph)
+	}
+
+	s.root.ForkInto(0x9a5e, s.phaseRand)
 	for i := 0; i < cfg.N; i++ {
-		s.Nodes[i].Start(phaseRand.Range(0, cfg.Node.BeaconEvery))
+		s.Nodes[i].Start(s.phaseRand.Range(0, cfg.Node.BeaconEvery))
 	}
-	return s
+
+	if cfg.CheckGradient {
+		if s.gradient == nil || s.gradient.nodes() != cfg.N {
+			s.gradient = newGradientChecker(cfg.N)
+		} else {
+			s.gradient.reset()
+		}
+	} else {
+		s.gradient = nil
+	}
+
+	if cap(s.vals) < cfg.N {
+		s.vals = make([]float64, cfg.N)
+	} else {
+		s.vals = s.vals[:cfg.N]
+	}
+	s.trace = nil
+	s.report = SkewReport{}
+	s.lastSampleT = 0
+	s.started = false
 }
 
 // discovery relays topology events to the algorithm layer: both
@@ -165,8 +355,12 @@ func (s *Simulation) churner(root *des.Rand) dyngraph.Churner {
 	case ChurnNone:
 		return nil
 	case ChurnVolatile:
+		if key := (volCandKey{edges: s.edgeCfg, seed: cfg.Seed, extra: cfg.Churn.ExtraEdges}); s.volCands == nil || key != s.volKey {
+			s.volCands = s.volatileCandidates(root.Fork(0xca9d))
+			s.volKey = key
+		}
 		return dyngraph.VolatileEdges{
-			Candidates: s.volatileCandidates(root.Fork(0xca9d)),
+			Candidates: s.volCands,
 			Lifetime:   cfg.Churn.Lifetime,
 			Absence:    cfg.Churn.Absence,
 			Rand:       root.Fork(0xc400),
@@ -182,7 +376,7 @@ func (s *Simulation) churner(root *des.Rand) dyngraph.Churner {
 
 // volatileCandidates draws ExtraEdges distinct random edges that are not
 // part of the static backbone (the initial edge set already materialized
-// in New). Rejection sampling is capped, so on dense backbones it can
+// in wire). Rejection sampling is capped, so on dense backbones it can
 // exhaust its attempt budget short of the request; the remainder is then
 // filled by deterministic enumeration of the unused non-backbone pairs,
 // so the churner is under-provisioned only when the graph genuinely has
@@ -221,7 +415,7 @@ func (s *Simulation) volatileCandidates(r *des.Rand) []dyngraph.Edge {
 
 // AttachTrace registers tr to receive one (time, per-node logical
 // values) row per skew sample. tr is reset to the scenario's node count;
-// call before the simulation runs.
+// call after wiring (New or Reset), before the simulation runs.
 func (s *Simulation) AttachTrace(tr *TraceRecorder) {
 	tr.Reset(s.Cfg.N)
 	s.trace = tr
@@ -265,14 +459,30 @@ func (s *Simulation) observe() {
 func (s *Simulation) Advance(t float64) {
 	if !s.started {
 		s.started = true
-		var sample func()
-		sample = func() {
-			s.observe()
-			s.Engine.ScheduleAfter(s.Cfg.SampleEvery, "sim.sample", sample)
-		}
-		s.Engine.Schedule(s.Engine.Now(), "sim.sample", sample)
+		s.Engine.Schedule(s.Engine.Now(), "sim.sample", s.sampleFn)
 	}
 	s.Engine.Run(t)
+}
+
+// boundFor returns the analytic global skew bound for cfg, cached across
+// runs: GlobalSkewBound materializes the topology and runs a BFS, so a
+// reused simulation must not recompute it per run. The cache keys on
+// every field the bound depends on (Seed, Horizon, SampleEvery, Driver,
+// and the check/coalesce toggles do not affect it).
+func (s *Simulation) boundFor(cfg Config) float64 {
+	key := cfg
+	key.Seed = 0
+	key.Horizon = 0
+	key.SampleEvery = 0
+	key.Driver = DriverSpec{}
+	key.CheckGradient = false
+	key.NoCoalesce = false
+	if !s.boundOK || key != s.boundCfg {
+		s.bound = cfg.GlobalSkewBound()
+		s.boundCfg = key
+		s.boundOK = true
+	}
+	return s.bound
 }
 
 // Run executes the scenario to its horizon and returns the report.
@@ -285,12 +495,13 @@ func (s *Simulation) Run() SkewReport {
 		s.observe()
 	}
 
-	s.report.Bound = cfg.GlobalSkewBound()
+	s.report.Bound = s.boundFor(cfg)
 	s.report.Transport = s.Net.Stats()
 	s.report.EventsExecuted = s.Engine.Executed()
 	s.report.EdgeAdds, s.report.EdgeRemoves = s.Graph.Stats()
 	if s.gradient != nil {
 		s.report.PerDistanceSkew = s.gradient.PerDistance()
+		s.report.DistanceRecomputes = s.gradient.Recomputes()
 	}
 
 	// The totals below are recomputed from node snapshots on every call,

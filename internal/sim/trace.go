@@ -40,13 +40,27 @@ func NewTraceRecorder(n, capacity int) *TraceRecorder {
 // Reset drops all recorded samples and reshapes the recorder for n
 // nodes, reusing the existing buffers when they are large enough.
 func (tr *TraceRecorder) Reset(n int) {
-	if n < 1 {
-		panic("sim: TraceRecorder needs a positive node count")
+	tr.ResetSize(n, tr.capacity)
+}
+
+// ResetSize drops all recorded samples and reshapes the recorder for n
+// nodes and capacity samples, reusing the existing buffers when they are
+// large enough. Sweeps over growing scenarios (the lower-bound n-sweep)
+// reshape one recorder per step instead of reallocating one per n.
+func (tr *TraceRecorder) ResetSize(n, capacity int) {
+	if n < 1 || capacity < 1 {
+		panic("sim: TraceRecorder needs positive node count and capacity")
 	}
 	tr.n = n
+	tr.capacity = capacity
 	tr.head = 0
 	tr.count = 0
-	if need := tr.capacity * n; need > cap(tr.rows) {
+	if capacity > cap(tr.times) {
+		tr.times = make([]float64, capacity)
+	} else {
+		tr.times = tr.times[:capacity]
+	}
+	if need := capacity * n; need > cap(tr.rows) {
 		tr.rows = make([]float64, need)
 	} else {
 		tr.rows = tr.rows[:need]

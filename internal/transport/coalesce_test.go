@@ -1,0 +1,157 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+
+	"gcs/internal/des"
+	"gcs/internal/dyngraph"
+)
+
+// TestCoalescedSameTickSendsShareOneDelivery pins the batching contract:
+// values sent over the same directed edge within one engine event fold
+// into one flight — one drawn delay, one delivery event — and arrive as
+// a single multi-value Message.
+func TestCoalescedSameTickSendsShareOneDelivery(t *testing.T) {
+	r := newRig(t, 2, []dyngraph.Edge{dyngraph.E(0, 1)}, FixedDelay(0.25), 1)
+	r.net.SetCoalescing(true)
+	r.net.Send(0, 1, 3)
+	r.net.Send(0, 1, 9)
+	r.net.Send(0, 1, 5)
+	// The reverse direction opens its own batch.
+	r.net.Send(1, 0, 7)
+	before := r.en.Executed()
+	r.en.Run(1)
+	if fired := r.en.Executed() - before; fired != 2 {
+		t.Fatalf("fired %d delivery events, want 2 (one per direction)", fired)
+	}
+	if len(r.got[1]) != 1 {
+		t.Fatalf("node 1 saw %d deliveries, want 1 batch", len(r.got[1]))
+	}
+	m := r.got[1][0]
+	if m.Value != 3 || !reflect.DeepEqual(m.Values, []float64{3, 9, 5}) {
+		t.Fatalf("batch = value %v values %v, want 3 and [3 9 5]", m.Value, m.Values)
+	}
+	if d := m.DeliverAt - m.SentAt; d != 0.25 {
+		t.Fatalf("batch delay = %v, want one 0.25 draw", d)
+	}
+	if len(r.got[0]) != 1 || r.got[0][0].Values != nil || r.got[0][0].Value != 7 {
+		t.Fatalf("reverse direction = %+v, want singleton 7", r.got[0])
+	}
+	s := r.net.Stats()
+	if s.Sent != 4 || s.Delivered != 4 || s.Coalesced != 2 {
+		t.Fatalf("stats = %+v, want Sent=4 Delivered=4 Coalesced=2", s)
+	}
+}
+
+// TestCoalescedLaterTickOpensNewBatch: the open batch closes the moment
+// simulated time advances; a later send gets its own flight and delay.
+func TestCoalescedLaterTickOpensNewBatch(t *testing.T) {
+	r := newRig(t, 2, []dyngraph.Edge{dyngraph.E(0, 1)}, FixedDelay(0.25), 1)
+	r.net.SetCoalescing(true)
+	r.net.Send(0, 1, 1)
+	r.en.Schedule(0.1, "later", func() { r.net.Send(0, 1, 2) })
+	r.en.Run(1)
+	if len(r.got[1]) != 2 {
+		t.Fatalf("deliveries = %d, want 2 separate flights", len(r.got[1]))
+	}
+	for i, m := range r.got[1] {
+		if m.Values != nil || m.Value != float64(i+1) {
+			t.Fatalf("delivery %d = %+v, want singleton %d", i, m, i+1)
+		}
+	}
+	if s := r.net.Stats(); s.Coalesced != 0 {
+		t.Fatalf("cross-tick sends coalesced: %+v", s)
+	}
+}
+
+// TestCoalescedBatchDroppedOnEdgeRemoval: an edge removal loses every
+// value of an in-flight batch, and the drop counter counts values.
+func TestCoalescedBatchDroppedOnEdgeRemoval(t *testing.T) {
+	e := dyngraph.E(0, 1)
+	r := newRig(t, 2, []dyngraph.Edge{e}, FixedDelay(0.5), 1)
+	r.net.SetCoalescing(true)
+	r.net.Send(0, 1, 1)
+	r.net.Send(0, 1, 2)
+	if got := r.net.InFlight(e); got != 2 {
+		t.Fatalf("in flight = %d values, want 2", got)
+	}
+	r.en.Schedule(0.2, "cut", func() { r.g.Remove(r.en.Now(), e) })
+	r.en.Run(5)
+	if len(r.got[1]) != 0 {
+		t.Fatalf("batch delivered despite edge removal: %v", r.got[1])
+	}
+	if s := r.net.Stats(); s.Sent != 2 || s.Dropped != 2 || s.Delivered != 0 {
+		t.Fatalf("stats = %+v, want Sent=2 Dropped=2", s)
+	}
+	// The healed edge starts a fresh batch; dropped values stay dropped.
+	r.en.Schedule(5.5, "heal", func() { r.g.Add(r.en.Now(), e); r.net.Send(0, 1, 42) })
+	r.en.Run(10)
+	if len(r.got[1]) != 1 || r.got[1][0].Value != 42 {
+		t.Fatalf("fresh send after heal = %v", r.got[1])
+	}
+}
+
+// TestCoalescedSendSteadyStateDoesNotAllocate extends the zero-alloc pin
+// to the batching path: folding values into an open batch and delivering
+// multi-value flights reuses pooled value buffers.
+func TestCoalescedSendSteadyStateDoesNotAllocate(t *testing.T) {
+	en := des.NewEngine()
+	g := dyngraph.NewDynamic(2, []dyngraph.Edge{dyngraph.E(0, 1)})
+	net := New(en, g, FixedDelay(0.1), 1)
+	net.SetCoalescing(true)
+	// Warm up the flight arena, batch value buffers, and event pool.
+	for i := 0; i < 64; i++ {
+		net.Send(0, 1, float64(i))
+		net.Send(0, 1, float64(i))
+		en.Run(en.Now() + 1)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		net.Send(0, 1, 1)
+		net.Send(0, 1, 2)
+		net.Send(0, 1, 3)
+		en.Run(en.Now() + 1)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state coalesced send+deliver allocated %v objects/op, want 0", allocs)
+	}
+}
+
+// TestNetworkResetReusesState: after Reset the network behaves like a
+// fresh one (clean stats, no in-flight traffic, mask removed) while
+// reusing its arenas, and handlers stay registered.
+func TestNetworkResetReusesState(t *testing.T) {
+	e := dyngraph.E(0, 1)
+	en := des.NewEngine()
+	g := dyngraph.NewDynamic(2, []dyngraph.Edge{e})
+	net := New(en, g, FixedDelay(0.5), 1)
+	var got []Message
+	net.SetHandler(1, func(m Message) { got = append(got, m) })
+	net.SetDelayMask(func(from, to int) DelayFn { return FixedDelay(0.9) })
+	for i := 0; i < 8; i++ {
+		net.Send(0, 1, float64(i))
+	}
+	// Reset mid-flight: the engine drops the delivery events, the network
+	// drops the flights.
+	en.Reset()
+	g.Reset(2, []dyngraph.Edge{e})
+	net.Reset(FixedDelay(0.25), 1)
+	if s := net.Stats(); s != (Stats{}) {
+		t.Fatalf("stats after reset = %+v, want zero", s)
+	}
+	if net.InFlight(e) != 0 {
+		t.Fatalf("in-flight traffic survived reset: %d", net.InFlight(e))
+	}
+	net.Send(0, 1, 42)
+	en.Run(1)
+	if len(got) != 1 || got[0].Value != 42 {
+		t.Fatalf("post-reset delivery = %v, want [42]", got)
+	}
+	// The new base delay applies and the old mask is gone.
+	if d := got[0].DeliverAt - got[0].SentAt; d != 0.25 {
+		t.Fatalf("post-reset delay = %v, want fresh base 0.25", d)
+	}
+	if s := net.Stats(); s.Sent != 1 || s.Delivered != 1 {
+		t.Fatalf("post-reset stats = %+v", s)
+	}
+}

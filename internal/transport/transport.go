@@ -15,12 +15,26 @@
 // Section 4 adversary, which charges asymmetric delays across the
 // lower-bound network's two chains.
 //
+// With coalescing enabled (SetCoalescing), values sent over the same
+// directed edge within one engine event are folded into a single pooled
+// multi-value flight: the batch shares one drawn delay and one delivery
+// event, capping delivery cost at one event per directed edge per tick
+// however many values a tick carries. A singleton batch is
+// indistinguishable from an uncoalesced send — same delay draw, same
+// delivery — which is what the sim harness's coalesced/uncoalesced
+// equivalence tests pin (the GCS algorithm sends at most one value per
+// directed edge per tick, so its batches are all singletons today; the
+// cap exists for multi-send workloads). Coalescing is off by default so
+// the raw per-message semantics (one delivery per Send) stay available
+// to tests and adversarial schedules.
+//
 // The send/deliver path is allocation-free in steady state: payloads are
 // typed float64 values (the only payload the GCS model carries — a
 // logical clock reading — so no boxing through an interface), in-flight
-// messages live in a pooled arena indexed by small integers, the
-// per-edge in-flight table and the per-node handler table are
-// slice-backed, and Broadcast reuses one neighbor buffer per network.
+// batches live in a pooled arena indexed by small integers, the per-edge
+// in-flight table and the per-node handler table are slice-backed, and
+// Broadcast reuses one neighbor buffer per network and skips the edge
+// presence check entirely (its targets come from the live adjacency).
 package transport
 
 import (
@@ -32,10 +46,16 @@ import (
 
 // Message is one point-to-point payload in flight or delivered. Value is
 // the sender's logical clock reading — the model's only message content.
+// When coalescing folded several same-tick values into one delivery,
+// Values holds all of them (Value is Values[0], the first sent) and
+// aliases pooled storage: handlers must consume it before sending new
+// messages and must not retain it. Values is nil for singleton
+// deliveries.
 type Message struct {
 	From, To  int
 	Edge      dyngraph.Edge
 	Value     float64
+	Values    []float64
 	SentAt    des.Time
 	DeliverAt des.Time
 }
@@ -73,7 +93,7 @@ func FixedDelay(d float64) DelayFn {
 // EdgeDelayFn is a per-edge adversarial delay mask. It is consulted once
 // per send with the directed pair (from, to) and returns the DelayFn to
 // charge for that message, or nil to fall back to the network's base
-// delay law. This is the adversary of the paper's Section 4 lower bound,
+// delay. This is the adversary of the paper's Section 4 lower bound,
 // which charges the full maxDelay on the edges of one chain of the
 // two-chain network and a near-zero delay on the other. The mask runs on
 // the send hot path, so implementations must not allocate; returning
@@ -81,27 +101,44 @@ func FixedDelay(d float64) DelayFn {
 // wiring time) keeps the path allocation-free.
 type EdgeDelayFn func(from, to int) DelayFn
 
-// Stats counts transport activity over an execution.
+// Stats counts transport activity over an execution. All counters count
+// logical values, not batches: a coalesced delivery of k values counts k
+// toward Delivered, so the traffic accounting of a coalesced execution
+// matches its uncoalesced counterpart.
 type Stats struct {
-	// Sent counts messages accepted for delivery.
+	// Sent counts values accepted for delivery.
 	Sent uint64
-	// Delivered counts messages handed to a receiver handler.
+	// Delivered counts values handed to a receiver handler.
 	Delivered uint64
-	// Dropped counts in-flight messages lost to edge removals.
+	// Dropped counts in-flight values lost to edge removals.
 	Dropped uint64
 	// Refused counts sends attempted over absent edges.
 	Refused uint64
+	// Coalesced counts values folded into an already-open batch (a
+	// same-tick second send on a directed edge); each saved one delivery
+	// event. Always 0 with coalescing off.
+	Coalesced uint64
 }
 
-// flight is one in-flight message, its delivery event, and its position
-// in the per-edge in-flight list. Flights live in the Network's arena
-// and are addressed by index, never by pointer, so recycling them costs
-// nothing.
+// flight is one in-flight batch: the delivery-event metadata plus the
+// values folded into it (vals[0] mirrors msg.Value). Flights live in the
+// Network's arena and are addressed by index, never by pointer, so
+// recycling them — value buffers included — costs nothing.
 type flight struct {
 	msg  Message
+	vals []float64
 	ev   des.EventRef
 	slot int32 // edge slot owning this flight
 	pos  int32 // index within the slot's in-flight list
+	dir  int8  // 0: sent U -> V, 1: sent V -> U
+}
+
+// slotState is the per-live-edge bookkeeping: the arena indices of the
+// flights in flight on the edge, plus, per direction, the flight (index
+// + 1; 0 = none) still accepting same-tick values while coalescing.
+type slotState struct {
+	flights []uint32
+	open    [2]uint32
 }
 
 // Network is the bounded-delay transport over one dynamic graph. It is
@@ -113,15 +150,16 @@ type Network struct {
 	delay    DelayFn
 	// mask, when non-nil, overrides delay per directed (from, to) pair.
 	mask EdgeDelayFn
+	// coalesce folds same-tick sends on a directed edge into one flight.
+	coalesce bool
 	// handlers is indexed by node id.
 	handlers []Handler
 	// edgeSlot assigns each edge currently carrying traffic a slot in
-	// slots; slots[slot] lists the arena indices of the flights in flight
-	// on that edge. Removing an edge recycles its slot through freeSlots
+	// slots. Removing an edge recycles its slot through freeSlots
 	// (keeping the list's capacity), so the table is bounded by the live
 	// edge count even when churn eventually touches every node pair.
 	edgeSlot  map[dyngraph.Edge]int32
-	slots     [][]uint32
+	slots     []slotState
 	freeSlots []int32
 	// flights is the arena; freeFlights lists recycled indices.
 	flights     []flight
@@ -156,6 +194,44 @@ func New(en *des.Engine, g *dyngraph.Dynamic, delay DelayFn, maxDelay float64) *
 	return n
 }
 
+// Reset drops all in-flight traffic and counters and installs a new
+// delay law, reusing the slot table, flight arena (value buffers
+// included), and handler table, so a rewired simulation's transport
+// allocates nothing in steady state. The delay mask is removed; the
+// coalescing setting is kept. Call it after the engine has been Reset —
+// pending delivery events are already recycled, so flights are released
+// without cancelling them. Handlers registered for surviving node ids
+// stay registered; the table grows if the graph was Reset to more nodes.
+func (n *Network) Reset(delay DelayFn, maxDelay float64) {
+	if maxDelay <= 0 {
+		panic("transport: maxDelay must be positive")
+	}
+	if delay == nil {
+		panic("transport: nil DelayFn")
+	}
+	n.maxDelay = maxDelay
+	n.delay = delay
+	n.mask = nil
+	clear(n.edgeSlot)
+	n.freeSlots = n.freeSlots[:0]
+	for i := range n.slots {
+		n.slots[i].flights = n.slots[i].flights[:0]
+		n.slots[i].open = [2]uint32{}
+		n.freeSlots = append(n.freeSlots, int32(i))
+	}
+	n.freeFlights = n.freeFlights[:0]
+	for i := range n.flights {
+		n.flights[i].ev = des.EventRef{}
+		n.freeFlights = append(n.freeFlights, uint32(i))
+	}
+	if g := n.g.N(); g > len(n.handlers) {
+		grown := make([]Handler, g)
+		copy(grown, n.handlers)
+		n.handlers = grown
+	}
+	n.stats = Stats{}
+}
+
 // MaxDelay returns the configured delay bound.
 func (n *Network) MaxDelay() float64 { return n.maxDelay }
 
@@ -165,8 +241,14 @@ func (n *Network) MaxDelay() float64 { return n.maxDelay }
 // that message, a nil answer falls through to it. Masked delays are
 // subject to the same (0, maxDelay] validation as base delays, and
 // masked messages keep the usual in-flight semantics (in particular they
-// are still dropped if their edge disappears before delivery).
+// are still dropped if their edge disappears before delivery). With
+// coalescing, the mask is consulted once per batch (when the batch
+// opens).
 func (n *Network) SetDelayMask(mask EdgeDelayFn) { n.mask = mask }
+
+// SetCoalescing enables or disables same-tick batching of sends on a
+// directed edge. Changing the setting affects subsequent sends only.
+func (n *Network) SetCoalescing(on bool) { n.coalesce = on }
 
 // Stats returns the counters accumulated so far.
 func (n *Network) Stats() Stats { return n.stats }
@@ -176,13 +258,17 @@ func (n *Network) Stats() Stats { return n.stats }
 // as delivered and discarded.
 func (n *Network) SetHandler(u int, h Handler) { n.handlers[u] = h }
 
-// InFlight returns the number of messages currently in flight on e.
+// InFlight returns the number of values currently in flight on e.
 func (n *Network) InFlight(e dyngraph.Edge) int {
 	slot, ok := n.edgeSlot[e]
 	if !ok {
 		return 0
 	}
-	return len(n.slots[slot])
+	total := 0
+	for _, fi := range n.slots[slot].flights {
+		total += len(n.flights[fi].vals)
+	}
+	return total
 }
 
 // Send transmits value from one endpoint of a present edge to the other.
@@ -194,7 +280,31 @@ func (n *Network) Send(from, to int, value float64) bool {
 		n.stats.Refused++
 		return false
 	}
+	n.send(from, to, e, value)
+	return true
+}
+
+// send accepts a value over an edge known to be present.
+func (n *Network) send(from, to int, e dyngraph.Edge, value float64) {
 	now := n.en.Now()
+	slot := n.slotFor(e)
+	sl := &n.slots[slot]
+	var dir int8
+	if from != e.U {
+		dir = 1
+	}
+	if n.coalesce {
+		if oi := sl.open[dir]; oi != 0 {
+			if f := &n.flights[oi-1]; f.msg.SentAt == now {
+				// Same tick, same directed edge: fold into the open batch.
+				f.vals = append(f.vals, value)
+				n.stats.Sent++
+				n.stats.Coalesced++
+				return
+			}
+			sl.open[dir] = 0
+		}
+	}
 	fi := n.allocFlight()
 	f := &n.flights[fi]
 	f.msg = Message{
@@ -204,6 +314,7 @@ func (n *Network) Send(from, to int, value float64) bool {
 		Value:  value,
 		SentAt: now,
 	}
+	f.vals = append(f.vals[:0], value)
 	delay := n.delay
 	if n.mask != nil {
 		if m := n.mask(from, to); m != nil {
@@ -216,28 +327,29 @@ func (n *Network) Send(from, to int, value float64) bool {
 	}
 	f.msg.DeliverAt = now + d
 	f.ev = n.en.ScheduleArg(f.msg.DeliverAt, "transport.deliver", n.deliverFn, uint64(fi))
-	slot := n.slotFor(e)
 	f.slot = slot
-	f.pos = int32(len(n.slots[slot]))
-	n.slots[slot] = append(n.slots[slot], fi)
+	f.dir = dir
+	f.pos = int32(len(sl.flights))
+	sl.flights = append(sl.flights, fi)
+	if n.coalesce {
+		sl.open[dir] = fi + 1
+	}
 	n.stats.Sent++
-	return true
 }
 
 // Broadcast sends value from u to every current neighbor, in ascending
-// neighbor order, and returns the number of messages sent. It reuses one
-// per-network neighbor buffer, so it must not be called reentrantly from
-// inside another Broadcast's send loop (deliveries happen later, from
-// engine events, so handlers may broadcast freely).
+// neighbor order, and returns the number of values sent. The neighbor
+// set comes from the live adjacency, so the per-send edge presence check
+// is skipped entirely. It reuses one per-network neighbor buffer, so it
+// must not be called reentrantly from inside another Broadcast's send
+// loop (deliveries happen later, from engine events, so handlers may
+// broadcast freely).
 func (n *Network) Broadcast(from int, value float64) int {
 	n.nbuf = n.g.AppendNeighbors(from, n.nbuf[:0])
-	sent := 0
 	for _, v := range n.nbuf {
-		if n.Send(from, v, value) {
-			sent++
-		}
+		n.send(from, v, dyngraph.E(from, v), value)
 	}
-	return sent
+	return len(n.nbuf)
 }
 
 // allocFlight returns a free arena index, growing the arena if the free
@@ -262,31 +374,48 @@ func (n *Network) slotFor(e dyngraph.Edge) int32 {
 			n.freeSlots = n.freeSlots[:k-1]
 		} else {
 			slot = int32(len(n.slots))
-			n.slots = append(n.slots, nil)
+			n.slots = append(n.slots, slotState{})
 		}
 		n.edgeSlot[e] = slot
 	}
 	return slot
 }
 
-// deliver hands flight fi's message to the destination handler and
-// recycles the flight. The flight is released before the handler runs,
-// so the handler may send new messages that reuse it.
+// deliver hands flight fi's batch to the destination handler and
+// recycles the flight. A singleton flight is released before the handler
+// runs, so the handler may send new messages that reuse it; a multi-value
+// flight is released after the handler returns, because the delivered
+// Message.Values aliases the flight's pooled buffer.
 func (n *Network) deliver(fi uint32) {
 	f := &n.flights[fi]
+	sl := &n.slots[f.slot]
+	if sl.open[f.dir] == fi+1 {
+		sl.open[f.dir] = 0
+	}
 	// Unlink from the edge's in-flight list: swap-remove, fixing the
 	// moved flight's position.
-	list := n.slots[f.slot]
+	list := sl.flights
 	last := len(list) - 1
 	moved := list[last]
 	list[f.pos] = moved
 	n.flights[moved].pos = f.pos
-	n.slots[f.slot] = list[:last]
+	sl.flights = list[:last]
 
 	msg := f.msg
+	k := len(f.vals)
+	n.stats.Delivered += uint64(k)
+	if k > 1 {
+		msg.Values = f.vals
+		if h := n.handlers[msg.To]; h != nil {
+			h(msg)
+		}
+		f = &n.flights[fi] // the handler may have grown the arena
+		f.ev = des.EventRef{}
+		n.freeFlights = append(n.freeFlights, fi)
+		return
+	}
 	f.ev = des.EventRef{}
 	n.freeFlights = append(n.freeFlights, fi)
-	n.stats.Delivered++
 	if h := n.handlers[msg.To]; h != nil {
 		h(msg)
 	}
@@ -297,7 +426,7 @@ func (n *Network) deliver(fi uint32) {
 // the same edge stay dropped.
 func (n *Network) EdgeAdded(t float64, e dyngraph.Edge) {}
 
-// EdgeRemoved implements dyngraph.Subscriber: every message in flight on
+// EdgeRemoved implements dyngraph.Subscriber: every value in flight on
 // the removed edge is lost (the paper's model drops messages whose edge
 // disappears before delivery).
 func (n *Network) EdgeRemoved(t float64, e dyngraph.Edge) {
@@ -305,17 +434,18 @@ func (n *Network) EdgeRemoved(t float64, e dyngraph.Edge) {
 	if !ok {
 		return
 	}
-	list := n.slots[slot]
-	for _, fi := range list {
+	sl := &n.slots[slot]
+	for _, fi := range sl.flights {
 		f := &n.flights[fi]
 		n.en.Cancel(f.ev)
 		f.ev = des.EventRef{}
+		n.stats.Dropped += uint64(len(f.vals))
 		n.freeFlights = append(n.freeFlights, fi)
-		n.stats.Dropped++
 	}
 	// Recycle the slot: all its flights are gone, and the edge must be
 	// re-added before it can carry traffic again.
-	n.slots[slot] = list[:0]
+	sl.flights = sl.flights[:0]
+	sl.open = [2]uint32{}
 	delete(n.edgeSlot, e)
 	n.freeSlots = append(n.freeSlots, slot)
 }
