@@ -20,7 +20,7 @@ func runBench(args []string) {
 	fs := flag.NewFlagSet("gcsim bench", flag.ExitOnError)
 	var (
 		pattern    = fs.String("bench", ".", "benchmark regexp passed to go test -bench")
-		benchtime  = fs.String("benchtime", "", "go test -benchtime value (e.g. 1x, 2s); empty uses the go default")
+		benchtime  = fs.String("benchtime", "", "go test -benchtime value (e.g. 1x, 2s); empty uses the go default. Gate runs should match the baseline's benchtime: allocs/op of arena-reused benchmarks is deterministic per iteration count but shrinks as free lists finish warming over the first iterations, so mismatched counts skew the allocs comparison")
 		count      = fs.Int("count", 1, "go test -count repetitions")
 		pkg        = fs.String("pkg", "./internal/sim", "package holding the benchmarks")
 		out        = fs.String("out", ".", "directory to write BENCH_<rev>.json into")
