@@ -7,6 +7,13 @@
 //
 //	go run ./cmd/gcsim -n 64 -horizon 100 -churn rotatingstar -period 2 -overlap 0.5
 //
+// -parallel switches the scenario onto the sharded conservative
+// parallel engine; -shards and -min-delay are part of that engine's
+// physics, while -workers only changes how many goroutines execute it —
+// the report is bit-identical for every worker count:
+//
+//	go run ./cmd/gcsim -n 100000 -horizon 5 -parallel -shards 16
+//
 // The `bench` subcommand wraps the simulation benchmark suite and writes
 // a BENCH_<rev>.json snapshot for cross-PR performance tracking:
 //
@@ -31,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"gcs/internal/des"
@@ -77,6 +85,11 @@ func runScenario() {
 		beacon  = flag.Float64("beacon", 0.1, "beacon interval (hardware time)")
 		sample  = flag.Float64("sample", 0.1, "skew sampling period (real time)")
 		events  = flag.Bool("events", false, "print a per-label event breakdown (via the DES trace hook)")
+
+		parallel = flag.Bool("parallel", false, "run on the sharded parallel engine (its own delay physics; see -shards)")
+		shards   = flag.Int("shards", 0, "parallel shard count — part of the physics (0 = default)")
+		workers  = flag.Int("workers", 0, "parallel worker goroutines — never affects the report (0 = GOMAXPROCS)")
+		minDelay = flag.Float64("min-delay", 0, "parallel delay floor = conservative lookahead (0 = delay/4)")
 	)
 	flag.Parse()
 
@@ -88,8 +101,15 @@ func runScenario() {
 		MaxDelay:    *delay,
 		Driver:      sim.DriverSpec{Interval: *intv},
 		SampleEvery: *sample,
+		Parallel:    *parallel,
+		Shards:      *shards,
+		Workers:     *workers,
+		MinDelay:    *minDelay,
 	}
 	cfg.Node.BeaconEvery = *beacon
+	if *parallel && *events {
+		fail("-events needs the serial engine's trace hook; drop -parallel")
+	}
 
 	switch *topo {
 	case "line":
@@ -142,21 +162,34 @@ func runScenario() {
 		fail("unknown churn %q", *churn)
 	}
 
-	s := sim.New(cfg)
+	var rpt sim.SkewReport
 	var eventCounts map[string]uint64
-	if *events {
-		eventCounts = map[string]uint64{}
-		s.Engine.SetTraceHook(func(_ des.Time, label string) {
-			eventCounts[label]++
-		})
+	if *parallel {
+		rpt = sim.NewParallel(cfg).Run()
+	} else {
+		s := sim.New(cfg)
+		if *events {
+			eventCounts = map[string]uint64{}
+			s.Engine.SetTraceHook(func(_ des.Time, label string) {
+				eventCounts[label]++
+			})
+		}
+		rpt = s.Run()
 	}
-	rpt := s.Run()
 	// Report the effective configuration: WithDefaults treats zero-valued
 	// fields (e.g. -rho 0) as unset and fills them in.
 	eff := cfg.WithDefaults()
 
 	fmt.Printf("scenario: n=%d topo=%v driver=%v churn=%v horizon=%gs rho=%g maxDelay=%g seed=%d\n",
 		*n, eff.Topology.Kind, eff.Driver.Kind, eff.Churn.Kind, eff.Horizon, eff.Rho, eff.MaxDelay, *seed)
+	if *parallel {
+		w := eff.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		fmt.Printf("parallel: shards=%d minDelay=%g (workers=%d — execution only, never in the report)\n",
+			eff.Shards, eff.MinDelay, w)
+	}
 	fmt.Printf("skew:     maxGlobal=%.6f  maxAdjacent=%.6f  final=%.6f  bound=%.6f\n",
 		rpt.MaxGlobalSkew, rpt.MaxAdjacentSkew, rpt.FinalGlobalSkew, rpt.Bound)
 	fmt.Printf("traffic:  sent=%d delivered=%d dropped=%d refused=%d\n",

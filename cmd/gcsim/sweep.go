@@ -56,6 +56,8 @@ func runSweep(args []string) {
 		sample   = fs.Float64("sample", 0.1, "skew sampling period (real time)")
 		interval = fs.Float64("interval", 1, "driver rate-change interval")
 		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		parallel = fs.Bool("parallel", false, "run every cell on the sharded parallel engine (its own delay physics)")
+		shards   = fs.Int("shards", 0, "parallel shard count per cell — part of the physics (0 = default)")
 		out      = fs.String("out", ".", "directory for sweep_results.csv and sweep_report.json")
 	)
 	fs.Parse(args)
@@ -86,6 +88,12 @@ func runSweep(args []string) {
 						Rho:         *rho,
 						MaxDelay:    *delay,
 						SampleEvery: *sample,
+						// The sweep already parallelizes across cells, so each
+						// parallel cell runs its windows on one worker — the
+						// report is worker-invariant, so this is pure scheduling.
+						Parallel: *parallel,
+						Shards:   *shards,
+						Workers:  1,
 					}
 					cfg.Node.BeaconEvery = *beacon
 					cfg.Driver = parseDriver(drvName, *interval)

@@ -7,8 +7,16 @@
 // reading a clock between events is exact. The package also provides
 // subjective timers — "fire when H_u has advanced by dH" — which are the
 // primitive behind the algorithm's set_timer(dt, id) calls. Subjective
-// timers stay correct across rate changes: every rate change reschedules
-// the pending timers at the new exact fire time.
+// timers stay correct across rate changes: timer targets are fixed
+// hardware readings, so a rate change only moves the real-time instant
+// at which each target is reached.
+//
+// Timers are batched behind a single engine event per clock: pending
+// timers sit in a per-clock min-heap ordered by target reading — an
+// order that is invariant under rate changes — and only the heap head
+// owns an engine event. A rate change therefore re-arms one event in
+// O(1) engine operations instead of rescheduling every pending timer,
+// which is what keeps the beacon-periodic workload cheap at large n.
 //
 // Timers are pooled: fired and cancelled Timer structs are recycled, user
 // code holds generation-checked TimerRef handles, and all timer firings
@@ -33,17 +41,21 @@ type HardwareClock struct {
 	lastH float64
 	rate  float64
 
-	// Pending subjective timers, rescheduled on every rate change. Each
-	// active timer records its position here for O(1) removal, and the
-	// slice order makes reschedule order (hence engine tie-breaking)
-	// deterministic.
-	active []*Timer
+	// Pending subjective timers in a 4-ary min-heap ordered by
+	// (targetH, seq). Targets are hardware readings, so the heap order
+	// never changes when the rate does; only the real-time instant of
+	// the head moves, and headEv is re-armed to track it.
+	active  []*Timer
+	nextSeq uint64
+	// headEv is the single engine event backing the heap head (zero when
+	// no timers are pending).
+	headEv des.EventRef
 	// arena holds every Timer ever created for this clock, indexed by
 	// Timer.id; free lists the recycled ones.
 	arena []*Timer
 	free  []*Timer
 	// fire is the single engine callback backing all of this clock's
-	// timers; the event arg is the timer's arena id.
+	// timers: it drains every due timer from the heap head and re-arms.
 	fire des.ArgHandler
 
 	// maxRate/minRate observed, for drift validation in tests.
@@ -64,7 +76,7 @@ func New(en *des.Engine, initialRate float64) *HardwareClock {
 		minRateSeen: initialRate,
 		maxRateSeen: initialRate,
 	}
-	c.fire = func(id uint64) { c.fireTimer(c.arena[id]) }
+	c.fire = func(uint64) { c.drainDue() }
 	return c
 }
 
@@ -73,14 +85,19 @@ func New(en *des.Engine, initialRate float64) *HardwareClock {
 // the arena-reuse counterpart of New: the timer arena and free list are
 // kept warm so re-arming timers after a reset allocates nothing. Call it
 // after the owning engine has been Reset — pending timers are released
-// without cancelling their (already recycled) engine events.
+// without cancelling their (already recycled) engine event.
 func (c *HardwareClock) Reset(initialRate float64) {
 	if initialRate <= 0 {
 		panic("clock: nonpositive rate")
 	}
 	for len(c.active) > 0 {
-		c.release(c.active[len(c.active)-1])
+		tm := c.active[len(c.active)-1]
+		c.active[len(c.active)-1] = nil
+		c.active = c.active[:len(c.active)-1]
+		c.pool(tm)
 	}
+	c.headEv = des.EventRef{}
+	c.nextSeq = 0
 	c.lastT = c.en.Now()
 	c.lastH = 0
 	c.rate = initialRate
@@ -111,10 +128,13 @@ func (c *HardwareClock) RateBoundsSeen() (min, max float64) {
 	return c.minRateSeen, c.maxRateSeen
 }
 
-// SetRate changes the clock rate as of the engine's current time and
-// reschedules all pending subjective timers to their new exact fire
-// times. Rates must be positive; the paper's model requires rates in
-// [1-rho, 1+rho] with rho < 1, which drivers enforce.
+// SetRate changes the clock rate as of the engine's current time. Timer
+// targets are hardware readings, so the pending-timer heap order is
+// unaffected; only the single engine event backing the heap head is
+// re-armed to the head's new real fire time — O(1) engine operations
+// regardless of how many timers are pending. Rates must be positive;
+// the paper's model requires rates in [1-rho, 1+rho] with rho < 1,
+// which drivers enforce.
 func (c *HardwareClock) SetRate(rate float64) {
 	if rate <= 0 {
 		panic("clock: nonpositive rate")
@@ -129,8 +149,8 @@ func (c *HardwareClock) SetRate(rate float64) {
 	if rate > c.maxRateSeen {
 		c.maxRateSeen = rate
 	}
-	for _, tm := range c.active {
-		c.reschedule(tm)
+	if len(c.active) > 0 {
+		c.armHead()
 	}
 }
 
@@ -154,12 +174,12 @@ func (c *HardwareClock) timeWhen(hTarget float64) des.Time {
 // TimerRef handles.
 type Timer struct {
 	targetH float64
+	seq     uint64 // insertion order, tie-break for equal targets
 	label   string
 	fn      func()
-	ev      des.EventRef
 	id      uint64 // arena index, fixed for the Timer's lifetime
 	gen     uint32
-	pos     int32 // index in the clock's active slice, -1 when pooled
+	pos     int32 // index in the clock's timer heap, -1 when pooled
 }
 
 // TimerRef is a generation-checked handle to a subjective timer. The zero
@@ -206,41 +226,57 @@ func (c *HardwareClock) SetTimer(dH float64, label string, fn func()) TimerRef {
 		c.arena = append(c.arena, tm)
 	}
 	tm.targetH = c.Now() + dH
+	tm.seq = c.nextSeq
+	c.nextSeq++
 	tm.label = label
 	tm.fn = fn
-	tm.pos = int32(len(c.active))
-	c.active = append(c.active, tm)
-	c.reschedule(tm)
+	c.heapPush(tm)
+	if c.active[0] == tm {
+		c.armHead()
+	}
 	return TimerRef{tm: tm, gen: tm.gen}
 }
 
-// reschedule (re)registers the engine event backing tm.
-func (c *HardwareClock) reschedule(tm *Timer) {
-	c.en.Cancel(tm.ev)
-	tm.ev = c.en.ScheduleArg(c.timeWhen(tm.targetH), tm.label, c.fire, tm.id)
+// armHead (re)registers the single engine event to the heap head's fire
+// time. Call with a nonempty heap.
+func (c *HardwareClock) armHead() {
+	c.en.Cancel(c.headEv)
+	head := c.active[0]
+	c.headEv = c.en.ScheduleArg(c.timeWhen(head.targetH), head.label, c.fire, 0)
 }
 
-// fireTimer runs when tm's engine event fires: the timer is released
-// before its callback so the callback can set new timers that reuse it.
-func (c *HardwareClock) fireTimer(tm *Timer) {
-	fn := tm.fn
-	c.release(tm)
-	fn()
+// drainDue runs when the head event fires: it pops and fires every timer
+// that is due at the current time (equal targets fire in insertion
+// order, and a target reached exactly now by floating-point luck fires
+// now rather than being re-armed for the same instant), then re-arms the
+// event for the new head. Callbacks may set or cancel timers freely —
+// the loop re-reads the head each iteration.
+func (c *HardwareClock) drainDue() {
+	c.headEv = des.EventRef{} // the firing event consumed itself
+	now := c.en.Now()
+	for len(c.active) > 0 {
+		tm := c.active[0]
+		if c.timeWhen(tm.targetH) > now {
+			break
+		}
+		c.heapRemove(tm)
+		fn := tm.fn
+		c.pool(tm)
+		fn()
+	}
+	if len(c.active) > 0 && !c.headEv.Pending() {
+		// Callbacks may have armed the event themselves (via SetTimer /
+		// CancelTimer on the new head); only re-arm if none did.
+		c.armHead()
+	}
 }
 
-// release removes tm from the active set, invalidates outstanding refs,
-// and returns it to the free list.
-func (c *HardwareClock) release(tm *Timer) {
-	last := len(c.active) - 1
-	moved := c.active[last]
-	c.active[tm.pos] = moved
-	moved.pos = tm.pos
-	c.active[last] = nil
-	c.active = c.active[:last]
+// pool invalidates outstanding refs to tm and returns it to the free
+// list. tm must already be out of the heap.
+func (c *HardwareClock) pool(tm *Timer) {
 	tm.pos = -1
 	tm.gen++
 	tm.fn = nil
-	tm.ev = des.EventRef{}
 	c.free = append(c.free, tm)
 }
 
@@ -251,9 +287,99 @@ func (c *HardwareClock) CancelTimer(r TimerRef) {
 	if tm == nil || tm.gen != r.gen {
 		return
 	}
-	c.en.Cancel(tm.ev)
-	c.release(tm)
+	wasHead := tm.pos == 0
+	c.heapRemove(tm)
+	c.pool(tm)
+	if wasHead {
+		if len(c.active) > 0 {
+			c.armHead()
+		} else {
+			c.en.Cancel(c.headEv)
+			c.headEv = des.EventRef{}
+		}
+	}
 }
 
 // PendingTimers returns the number of subjective timers currently set.
 func (c *HardwareClock) PendingTimers() int { return len(c.active) }
+
+// ---- 4-ary index heap over pending timers, ordered by (targetH, seq) ----
+
+func timerLess(a, b *Timer) bool {
+	if a.targetH != b.targetH {
+		return a.targetH < b.targetH
+	}
+	return a.seq < b.seq
+}
+
+func (c *HardwareClock) heapPush(tm *Timer) {
+	c.active = append(c.active, tm)
+	tm.pos = int32(len(c.active) - 1)
+	c.siftUp(len(c.active) - 1)
+}
+
+// heapRemove deletes tm from the heap, restoring the invariant.
+func (c *HardwareClock) heapRemove(tm *Timer) {
+	h := c.active
+	i := int(tm.pos)
+	n := len(h) - 1
+	if i != n {
+		moved := h[n]
+		h[i] = moved
+		moved.pos = int32(i)
+	}
+	h[n] = nil
+	c.active = h[:n]
+	if i < n {
+		moved := c.active[i]
+		c.siftDown(i)
+		c.siftUp(int(moved.pos))
+	}
+	tm.pos = -1
+}
+
+func (c *HardwareClock) siftUp(i int) {
+	h := c.active
+	tm := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !timerLess(tm, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].pos = int32(i)
+		i = p
+	}
+	h[i] = tm
+	tm.pos = int32(i)
+}
+
+func (c *HardwareClock) siftDown(i int) {
+	h := c.active
+	n := len(h)
+	tm := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		m := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for j := first + 1; j < last; j++ {
+			if timerLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !timerLess(h[m], tm) {
+			break
+		}
+		h[i] = h[m]
+		h[i].pos = int32(i)
+		i = m
+	}
+	h[i] = tm
+	tm.pos = int32(i)
+}

@@ -350,3 +350,97 @@ func TestPropertyTimerExactness(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBatchedTimersOneEngineEvent pins the batching contract: however
+// many subjective timers a clock holds, only the heap head owns an
+// engine event, and a rate change re-arms that single event instead of
+// rescheduling every timer.
+func TestBatchedTimersOneEngineEvent(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1)
+	for i := 0; i < 100; i++ {
+		d := float64(i + 1)
+		c.SetTimer(d, "tm", func() {})
+	}
+	if c.PendingTimers() != 100 {
+		t.Fatalf("PendingTimers = %d, want 100", c.PendingTimers())
+	}
+	if en.Pending() != 1 {
+		t.Fatalf("engine holds %d events for 100 timers, want 1", en.Pending())
+	}
+	// SetRate must stay O(1) engine ops: one cancel + one schedule.
+	before := en.Executed()
+	c.SetRate(2)
+	if en.Pending() != 1 {
+		t.Fatalf("engine holds %d events after SetRate, want 1", en.Pending())
+	}
+	if en.Executed() != before {
+		t.Fatal("SetRate fired events")
+	}
+}
+
+// TestBatchedTimersFireOrder pins that equal-target timers fire in
+// insertion order and distinct targets in target order, through the
+// single batched engine event.
+func TestBatchedTimersFireOrder(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1)
+	var got []int
+	rec := func(id int) func() { return func() { got = append(got, id) } }
+	c.SetTimer(2, "b", rec(1))
+	c.SetTimer(1, "a", rec(0))
+	c.SetTimer(2, "b2", rec(2))
+	c.SetTimer(3, "c", rec(3))
+	en.Run(10)
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBatchedTimerCancelHeadReArms pins that cancelling the head timer
+// re-arms the engine event for the next timer, and cancelling the last
+// timer clears it.
+func TestBatchedTimerCancelHeadReArms(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1)
+	fired := false
+	head := c.SetTimer(1, "head", func() { t.Error("cancelled head fired") })
+	c.SetTimer(2, "next", func() { fired = true })
+	c.CancelTimer(head)
+	if en.Pending() != 1 {
+		t.Fatalf("engine holds %d events after head cancel, want 1", en.Pending())
+	}
+	en.Run(10)
+	if !fired {
+		t.Fatal("next timer did not fire after head cancel")
+	}
+	if c.PendingTimers() != 0 {
+		t.Fatalf("PendingTimers = %d, want 0", c.PendingTimers())
+	}
+	last := c.SetTimer(1, "last", func() {})
+	c.CancelTimer(last)
+	if en.Pending() != 0 {
+		t.Fatalf("engine holds %d events after last cancel, want 0", en.Pending())
+	}
+}
+
+// TestBatchedTimerSetDuringDrain pins that a callback setting a new
+// timer while the batched event drains gets a correctly armed event.
+func TestBatchedTimerSetDuringDrain(t *testing.T) {
+	en := des.NewEngine()
+	c := New(en, 1)
+	var at float64 = -1
+	c.SetTimer(1, "outer", func() {
+		c.SetTimer(0.5, "inner", func() { at = c.Now() })
+	})
+	en.Run(10)
+	if math.Abs(at-1.5) > 1e-12 {
+		t.Fatalf("inner timer fired at H=%v, want 1.5", at)
+	}
+}

@@ -245,9 +245,20 @@ func (en *Engine) fire(e *Event) {
 	}
 }
 
-// Stop makes the current Run invocation return after the current event
-// handler completes.
+// Stop requests that event execution halt. A Stop issued from inside an
+// event handler makes the surrounding Run/RunUntilIdle return after the
+// handler completes; a Stop issued between runs makes the next
+// Run/RunUntilIdle return before firing any event. The request is sticky
+// until a run loop consumes it — it is never silently discarded — and
+// each request stops exactly one run. A consumed stop leaves Now() at
+// the last fired event's time (the queue may still hold earlier-than-
+// horizon events), so a later Step or Run resumes exactly where the
+// stopped run left off.
 func (en *Engine) Stop() { en.stopped = true }
+
+// Stopped reports whether a Stop request is pending (not yet consumed by
+// a run loop).
+func (en *Engine) Stopped() bool { return en.stopped }
 
 // Step fires the single earliest pending event, if any, and reports
 // whether an event fired.
@@ -262,14 +273,17 @@ func (en *Engine) Step() bool {
 }
 
 // Run fires events in order until the queue is empty, Stop is called, or
-// the next event would fire strictly after horizon. On return Now() is
-// min(horizon, time of last event) if events fired, or horizon if the
-// queue drained earlier; the engine always advances Now to horizon so
-// that callers can sample end-of-run state. The head of the queue is
-// fired directly — cancellation removes events eagerly, so no skip pass
-// is needed between the peek and the fire.
+// the next event would fire strictly after horizon. When the loop drains
+// the queue or breaks on the horizon check, Now() is advanced to horizon
+// so that callers can sample end-of-run state. When Stop halted the loop,
+// Now() stays at the last fired event's time: events earlier than the
+// horizon may still be pending, and advancing past them would make a
+// later Step fire them in the simulated past (time running backwards)
+// and make legitimate Schedule calls between the pending event and the
+// horizon panic. The head of the queue is fired directly — cancellation
+// removes events eagerly, so no skip pass is needed between the peek and
+// the fire.
 func (en *Engine) Run(horizon Time) {
-	en.stopped = false
 	for !en.stopped && len(en.heap) > 0 {
 		e := en.heap[0]
 		if e.t > horizon {
@@ -278,22 +292,60 @@ func (en *Engine) Run(horizon Time) {
 		en.remove(0)
 		en.fire(e)
 	}
+	if en.stopped {
+		en.stopped = false // consume the request; Now stays put
+		return
+	}
 	if en.now < horizon {
 		en.now = horizon
 	}
 }
 
-// RunUntilIdle fires events until none remain or Stop is called. It
-// panics if more than maxEvents fire, as a guard against runaway
+// RunBefore fires events in order while the head's time is strictly less
+// than limit, without ever advancing Now beyond the last fired event.
+// Unlike Run it ignores Stop requests (it is the inner loop of the
+// parallel coordinator, which checks Stop at window barriers). It returns
+// the number of events fired.
+func (en *Engine) RunBefore(limit Time) int {
+	fired := 0
+	for len(en.heap) > 0 {
+		e := en.heap[0]
+		if e.t >= limit {
+			break
+		}
+		en.remove(0)
+		en.fire(e)
+		fired++
+	}
+	return fired
+}
+
+// AdvanceTo moves Now forward to t without firing anything. It panics if
+// an event earlier than t is pending — advancing over it would fire it
+// in the past later. Calls with t <= Now are no-ops, so callers can
+// advance a set of engines to a common barrier time unconditionally.
+func (en *Engine) AdvanceTo(t Time) {
+	if t <= en.now {
+		return
+	}
+	if len(en.heap) > 0 && en.heap[0].t < t {
+		panic(fmt.Sprintf("des: AdvanceTo(%v) over pending event at %v", t, en.heap[0].t))
+	}
+	en.now = t
+}
+
+// RunUntilIdle fires events until none remain or Stop is called (see
+// Stop for the sticky consume-one-run semantics Run shares). It panics
+// if more than maxEvents fire, as a guard against runaway
 // self-rescheduling loops.
 func (en *Engine) RunUntilIdle(maxEvents uint64) {
-	en.stopped = false
 	start := en.executed
 	for !en.stopped && en.Step() {
 		if en.executed-start > maxEvents {
 			panic(fmt.Sprintf("des: exceeded %d events (runaway schedule?)", maxEvents))
 		}
 	}
+	en.stopped = false
 }
 
 // NextEventTime returns the fire time of the earliest pending event and

@@ -555,3 +555,151 @@ func TestTraceHookRemoval(t *testing.T) {
 		t.Fatalf("hook called %d times, want 1 (removal ignored?)", calls)
 	}
 }
+
+// TestStopDoesNotAdvanceNowPastPending is the regression test for the
+// time-regression bug: Run used to advance Now to the horizon even when
+// Stop halted the loop with events still pending before the horizon, so
+// a later Step fired them in the simulated past and legitimate Schedule
+// calls panicked with "schedule before now".
+func TestStopDoesNotAdvanceNowPastPending(t *testing.T) {
+	en := NewEngine()
+	en.Schedule(1, "a", func() { en.Stop() })
+	var firedAt Time = -1
+	en.Schedule(5, "b", func() { firedAt = en.Now() })
+	en.Run(10)
+	if en.Now() != 1 {
+		t.Fatalf("Now after stopped run = %v, want 1 (time of last fired event)", en.Now())
+	}
+	// Scheduling between the pending event and the old horizon must not
+	// panic: simulated time has not passed 1 yet.
+	en.Schedule(3, "c", func() {})
+	// Stepping resumes forward in time, never backwards.
+	en.Step() // fires c at 3
+	if en.Now() != 3 {
+		t.Fatalf("Now after Step = %v, want 3", en.Now())
+	}
+	en.Step() // fires b at 5
+	if firedAt != 5 {
+		t.Fatalf("b fired at %v, want 5", firedAt)
+	}
+	if en.Now() != 5 {
+		t.Fatalf("Now = %v, want 5 (monotone)", en.Now())
+	}
+}
+
+// TestStopThenRunResumes pins that after a stopped run, a later Run
+// fires the still-pending events and then advances to its horizon.
+func TestStopThenRunResumes(t *testing.T) {
+	en := NewEngine()
+	var got []Time
+	en.Schedule(1, "a", func() { got = append(got, en.Now()); en.Stop() })
+	en.Schedule(2, "b", func() { got = append(got, en.Now()) })
+	en.Run(10)
+	en.Run(10)
+	want := []Time{1, 2}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("fire times = %v, want %v", got, want)
+	}
+	if en.Now() != 10 {
+		t.Fatalf("Now after clean run = %v, want horizon 10", en.Now())
+	}
+}
+
+// TestStopBetweenRunsIsSticky pins the sticky-Stop semantics: a Stop
+// issued while no run loop is active halts the next Run before it fires
+// anything, and is consumed by that run (exactly one run is stopped).
+func TestStopBetweenRunsIsSticky(t *testing.T) {
+	en := NewEngine()
+	fired := false
+	en.Schedule(1, "a", func() { fired = true })
+	en.Stop()
+	if !en.Stopped() {
+		t.Fatal("Stopped() = false after Stop()")
+	}
+	en.Run(10)
+	if fired {
+		t.Fatal("Run fired an event despite a pending Stop")
+	}
+	if en.Stopped() {
+		t.Fatal("Run did not consume the Stop request")
+	}
+	if en.Now() != 0 {
+		t.Fatalf("Now = %v, want 0 (stopped before firing)", en.Now())
+	}
+	en.Run(10)
+	if !fired {
+		t.Fatal("second Run did not fire the pending event")
+	}
+}
+
+// TestStopBetweenRunsStopsRunUntilIdle pins the same sticky semantics
+// for RunUntilIdle.
+func TestStopBetweenRunsStopsRunUntilIdle(t *testing.T) {
+	en := NewEngine()
+	fired := false
+	en.Schedule(1, "a", func() { fired = true })
+	en.Stop()
+	en.RunUntilIdle(100)
+	if fired {
+		t.Fatal("RunUntilIdle fired an event despite a pending Stop")
+	}
+	en.RunUntilIdle(100)
+	if !fired {
+		t.Fatal("second RunUntilIdle did not fire the pending event")
+	}
+}
+
+// TestRunBefore pins the strict-limit window loop used by the parallel
+// coordinator: events strictly before the limit fire, the event at the
+// limit stays pending, and Now never advances past the last fired event.
+func TestRunBefore(t *testing.T) {
+	en := NewEngine()
+	var got []Time
+	rec := func() { got = append(got, en.Now()) }
+	en.Schedule(1, "a", rec)
+	en.Schedule(2, "b", rec)
+	en.Schedule(2, "b2", rec)
+	en.Schedule(3, "c", rec)
+	if n := en.RunBefore(3); n != 3 {
+		t.Fatalf("RunBefore fired %d events, want 3", n)
+	}
+	if len(got) != 3 || got[2] != 2 {
+		t.Fatalf("fired times = %v, want [1 2 2]", got)
+	}
+	if en.Now() != 2 {
+		t.Fatalf("Now = %v, want 2 (last fired event)", en.Now())
+	}
+	if en.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (the at-limit event)", en.Pending())
+	}
+	if n := en.RunBefore(2); n != 0 {
+		t.Fatalf("RunBefore below pending head fired %d events, want 0", n)
+	}
+}
+
+// TestAdvanceTo pins the barrier primitive: forward jumps over an empty
+// window succeed, backwards/no-op calls are ignored, and jumping over a
+// pending event panics.
+func TestAdvanceTo(t *testing.T) {
+	en := NewEngine()
+	en.AdvanceTo(4)
+	if en.Now() != 4 {
+		t.Fatalf("Now = %v, want 4", en.Now())
+	}
+	en.AdvanceTo(2) // no-op, not a panic
+	if en.Now() != 4 {
+		t.Fatalf("Now = %v after backwards AdvanceTo, want 4", en.Now())
+	}
+	en.Schedule(5, "x", func() {})
+	en.AdvanceTo(5) // head at exactly t is fine: it can still fire at 5
+	if en.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", en.Now())
+	}
+	en.Schedule(6, "y", func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo over a pending event did not panic")
+		}
+	}()
+	en.AdvanceTo(7)
+}

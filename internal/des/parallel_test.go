@@ -1,0 +1,240 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// toyCluster is a minimal sharded workload for coordinator tests: every
+// shard runs a periodic local event that records its fire time and
+// sends a cross message to the next shard; cross deliveries record and
+// echo onward with decreasing hops. All state is per-shard, so any
+// worker interleaving must produce identical logs.
+type toyCluster struct {
+	p         *ParallelEngine
+	lookahead Time
+	// log[s] records (time, tag) pairs in shard s's execution order.
+	log [][]toyRec
+	// globalLog records global-phase observations of every shard clock.
+	globalLog []float64
+}
+
+type toyRec struct {
+	t   Time
+	tag uint64
+}
+
+func newToyCluster(shards int, lookahead Time) *toyCluster {
+	tc := &toyCluster{
+		p:         NewParallelEngine(shards, lookahead),
+		lookahead: lookahead,
+		log:       make([][]toyRec, shards),
+	}
+	tc.p.SetCrossHandler(func(dst int, m CrossMsg) {
+		en := tc.p.Shard(dst)
+		hops := m.W1
+		tag := m.W0
+		en.ScheduleArg(m.DeliverAt, "toy.cross", func(arg uint64) {
+			tc.log[dst] = append(tc.log[dst], toyRec{t: en.Now(), tag: arg})
+			if hops > 0 {
+				next := (dst + 1) % tc.p.NumShards()
+				tc.p.SendCross(dst, next, CrossMsg{
+					DeliverAt: en.Now() + 2*lookahead,
+					W0:        arg + 1000,
+					W1:        hops - 1,
+				})
+			}
+		}, tag)
+	})
+	tc.armTicks()
+	return tc
+}
+
+// armTicks schedules every shard's initial periodic event; callable
+// again after a Reset to replay the identical workload.
+func (tc *toyCluster) armTicks() {
+	for s := 0; s < tc.p.NumShards(); s++ {
+		s := s
+		en := tc.p.Shard(s)
+		var tick func()
+		tick = func() {
+			tc.log[s] = append(tc.log[s], toyRec{t: en.Now(), tag: uint64(s)})
+			next := (s + 1) % tc.p.NumShards()
+			tc.p.SendCross(s, next, CrossMsg{
+				DeliverAt: en.Now() + 1.5*tc.lookahead,
+				W0:        uint64(s)*100 + 7,
+				W1:        2,
+			})
+			en.ScheduleAfter(0.5, "toy.tick", tick)
+		}
+		// Stagger the first ticks so shards are rarely aligned.
+		en.Schedule(0.1*float64(s+1), "toy.start", tick)
+	}
+}
+
+func (tc *toyCluster) run(horizon Time, workers int) {
+	tc.p.Run(horizon, workers)
+}
+
+// TestParallelWorkerInvariance is the determinism contract: the same
+// sharded workload produces bit-identical per-shard execution logs for
+// every worker count, including the workers=1 serial reference.
+func TestParallelWorkerInvariance(t *testing.T) {
+	ref := newToyCluster(5, 0.05)
+	ref.run(10, 1)
+	if len(ref.log[0]) == 0 || ref.p.Windows() == 0 {
+		t.Fatalf("degenerate reference run: %d recs, %d windows", len(ref.log[0]), ref.p.Windows())
+	}
+	for _, workers := range []int{2, 4, 16} {
+		tc := newToyCluster(5, 0.05)
+		tc.run(10, workers)
+		if !reflect.DeepEqual(tc.log, ref.log) {
+			t.Fatalf("workers=%d diverged from serial reference", workers)
+		}
+		if tc.p.Executed() != ref.p.Executed() {
+			t.Fatalf("workers=%d executed %d events, reference %d",
+				workers, tc.p.Executed(), ref.p.Executed())
+		}
+	}
+}
+
+// TestParallelGlobalBarrier pins the global-phase contract: a global
+// event fires with every shard's clock advanced to exactly the event's
+// time, and with no earlier shard event still pending.
+func TestParallelGlobalBarrier(t *testing.T) {
+	tc := newToyCluster(3, 0.05)
+	var sample func()
+	sample = func() {
+		g := tc.p.Global()
+		for s := 0; s < tc.p.NumShards(); s++ {
+			sh := tc.p.Shard(s)
+			if sh.Now() != g.Now() {
+				t.Errorf("global event at %v saw shard %d at %v", g.Now(), s, sh.Now())
+			}
+			if nt, ok := sh.NextEventTime(); ok && nt < g.Now() {
+				t.Errorf("global event at %v with shard %d event still pending at %v", g.Now(), s, nt)
+			}
+		}
+		tc.globalLog = append(tc.globalLog, g.Now())
+		g.ScheduleAfter(0.3, "toy.sample", sample)
+	}
+	tc.p.Global().Schedule(0, "toy.sample", sample)
+	tc.run(5, 4)
+	if len(tc.globalLog) < 16 {
+		t.Fatalf("global sampler fired %d times, want ~17", len(tc.globalLog))
+	}
+	for i, at := range tc.globalLog {
+		if want := 0.3 * float64(i); math.Abs(at-want) > 1e-9 {
+			t.Fatalf("global sample %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+// TestParallelHorizonSemantics pins Run's end state: events at exactly
+// the horizon fire, and every engine finishes at the horizon.
+func TestParallelHorizonSemantics(t *testing.T) {
+	p := NewParallelEngine(2, 0.1)
+	p.SetCrossHandler(func(int, CrossMsg) {})
+	edgeFired := false
+	p.Shard(0).Schedule(3, "edge", func() { edgeFired = true })
+	p.Shard(1).Schedule(1, "mid", func() {})
+	p.Global().Schedule(2, "gmid", func() {})
+	p.Run(3, 2)
+	if !edgeFired {
+		t.Fatal("event exactly at horizon did not fire")
+	}
+	for s := 0; s < 2; s++ {
+		if p.Shard(s).Now() != 3 {
+			t.Fatalf("shard %d finished at %v, want horizon 3", s, p.Shard(s).Now())
+		}
+	}
+	if p.Global().Now() != 3 {
+		t.Fatalf("global finished at %v, want horizon 3", p.Global().Now())
+	}
+}
+
+// TestParallelStopSticky pins the coordinator's Stop semantics: a Stop
+// between runs halts the next Run before any phase, is consumed by it,
+// and a later Run resumes.
+func TestParallelStopSticky(t *testing.T) {
+	p := NewParallelEngine(2, 0.1)
+	p.SetCrossHandler(func(int, CrossMsg) {})
+	fired := false
+	p.Shard(0).Schedule(1, "a", func() { fired = true })
+	p.Stop()
+	p.Run(5, 2)
+	if fired {
+		t.Fatal("Run executed a phase despite a pending Stop")
+	}
+	if p.Stopped() {
+		t.Fatal("Run did not consume the Stop request")
+	}
+	p.Run(5, 2)
+	if !fired {
+		t.Fatal("second Run did not resume")
+	}
+}
+
+// TestParallelLookaheadViolationPanics pins the machine-checked safety
+// net: a cross message whose delivery time is behind the destination
+// shard's clock (a delay below the lookahead) panics at merge rather
+// than silently firing in the past.
+func TestParallelLookaheadViolationPanics(t *testing.T) {
+	p := NewParallelEngine(2, 0.5)
+	p.SetCrossHandler(func(dst int, m CrossMsg) {
+		p.Shard(dst).Schedule(m.DeliverAt, "cross", func() {})
+	})
+	// Shard 1 runs far into the window; shard 0's event then emits a
+	// cross message with a delay far below the lookahead.
+	var tick func()
+	en1 := p.Shard(1)
+	tick = func() { en1.ScheduleAfter(0.01, "busy", tick) }
+	en1.Schedule(0, "busy", tick)
+	p.Shard(0).Schedule(0, "bad", func() {
+		p.SendCross(0, 1, CrossMsg{DeliverAt: p.Shard(0).Now() + 1e-9})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lookahead violation did not panic")
+		}
+	}()
+	p.Run(1, 1)
+}
+
+// TestParallelReset pins arena-style reuse: Reset returns every engine
+// to time 0 with empty queues, and re-arming the same workload on the
+// reused coordinator replays it bit-identically.
+func (tc *toyCluster) snapshot() [][]toyRec {
+	out := make([][]toyRec, len(tc.log))
+	for i := range tc.log {
+		out[i] = append([]toyRec(nil), tc.log[i]...)
+	}
+	return out
+}
+
+func TestParallelReset(t *testing.T) {
+	tc := newToyCluster(4, 0.05)
+	tc.run(5, 3)
+	first := tc.snapshot()
+
+	tc.p.Reset()
+	for s := 0; s < tc.p.NumShards(); s++ {
+		if tc.p.Shard(s).Now() != 0 || tc.p.Shard(s).Pending() != 0 {
+			t.Fatalf("shard %d not reset: now=%v pending=%d",
+				s, tc.p.Shard(s).Now(), tc.p.Shard(s).Pending())
+		}
+	}
+	for i := range tc.log {
+		tc.log[i] = tc.log[i][:0]
+	}
+	tc.armTicks()
+	tc.run(5, 3)
+	if !reflect.DeepEqual(first, tc.snapshot()) {
+		t.Fatal("reused coordinator diverged from its first run")
+	}
+	if fmt.Sprint(first) == "" {
+		t.Fatal("unreachable")
+	}
+}

@@ -18,6 +18,7 @@ package sim
 // sweeps give each worker its own Arena (see RunSweep).
 type Arena struct {
 	s  *Simulation
+	ps *ParallelSim
 	tr *TraceRecorder
 }
 
@@ -35,8 +36,25 @@ func (a *Arena) Sim(cfg Config) *Simulation {
 	return a.s
 }
 
-// Run wires the arena for cfg and executes the scenario to its horizon.
+// Parallel returns the arena's sharded-parallel simulation wired for
+// cfg (which must have Config.Parallel set), creating it on first use
+// and resetting it in place afterwards. The serial and parallel
+// simulations coexist in one arena; each is wired lazily.
+func (a *Arena) Parallel(cfg Config) *ParallelSim {
+	if a.ps == nil {
+		a.ps = NewParallel(cfg)
+	} else {
+		a.ps.Reset(cfg)
+	}
+	return a.ps
+}
+
+// Run wires the arena for cfg and executes the scenario to its horizon,
+// dispatching on Config.Parallel.
 func (a *Arena) Run(cfg Config) SkewReport {
+	if cfg.Parallel {
+		return a.Parallel(cfg).Run()
+	}
 	return a.Sim(cfg).Run()
 }
 

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 // The benchmark suite tracks the per-run cost of full scenarios — beacon
 // traffic, churn, and skew sampling included — across the workload
@@ -74,6 +77,51 @@ func BenchmarkRing4096(b *testing.B) {
 // within the CI budget (tens of seconds for warm-up plus one iteration).
 func BenchmarkRing10k(b *testing.B) {
 	benchScenario(b, ringConfig(10000))
+}
+
+// parallelBenchConfig shards a ring config for the parallel engine.
+// Workers is left 0 (GOMAXPROCS): the report is worker-invariant, so
+// the numbers are comparable across machines while the wall clock
+// reflects the host's parallelism.
+func parallelBenchConfig(n, shards int) Config {
+	cfg := ringConfig(n)
+	cfg.Parallel = true
+	cfg.Shards = shards
+	return cfg
+}
+
+// BenchmarkRing10kParallel is BenchmarkRing10k on the sharded parallel
+// engine (8 shards, GOMAXPROCS workers). Compare against BenchmarkRing10k
+// for the speedup; on a single-core host it instead measures the
+// sharding overhead (windowing, cross-shard merge) at zero parallelism.
+func BenchmarkRing10kParallel(b *testing.B) {
+	benchScenario(b, parallelBenchConfig(10000, 8))
+}
+
+// BenchmarkRing100k is the 100k-node scale target, gated behind
+// GCS_BENCH_LARGE=1 because one run costs tens of seconds: the horizon
+// and sampling rate are reduced so an iteration stays within a CI job
+// step. Serial reference for BenchmarkRing100kParallel.
+func BenchmarkRing100k(b *testing.B) {
+	if os.Getenv("GCS_BENCH_LARGE") == "" {
+		b.Skip("set GCS_BENCH_LARGE=1 to run the 100k-node benchmarks")
+	}
+	cfg := ringConfig(100000)
+	cfg.Horizon = 5
+	cfg.SampleEvery = 0.5
+	benchScenario(b, cfg)
+}
+
+// BenchmarkRing100kParallel is the tentpole scale point: Ring100k on the
+// sharded engine (16 shards). Gated with its serial twin.
+func BenchmarkRing100kParallel(b *testing.B) {
+	if os.Getenv("GCS_BENCH_LARGE") == "" {
+		b.Skip("set GCS_BENCH_LARGE=1 to run the 100k-node benchmarks")
+	}
+	cfg := parallelBenchConfig(100000, 16)
+	cfg.Horizon = 5
+	cfg.SampleEvery = 0.5
+	benchScenario(b, cfg)
 }
 
 // BenchmarkGrid1024 runs a 32x32 torus-free grid: 4x the ring's edge

@@ -77,6 +77,37 @@ func (s TopologySpec) Edges(n int) []dyngraph.Edge {
 	panic(fmt.Sprintf("sim: unknown topology kind %d", s.Kind))
 }
 
+// diameter returns the topology's hop diameter (-1 if disconnected).
+// The generator topologies have closed forms, so the analytic bound of
+// a 100k-node scenario does not pay an all-source BFS (O(n²) at ring
+// sizes where the simulation itself is O(n)); TopoTwoChains falls back
+// to the generic sweep. TestTopologyDiameterClosedForm pins the closed
+// forms against dyngraph.Diameter.
+func (s TopologySpec) diameter(n int) int {
+	switch s.Kind {
+	case TopoLine:
+		return n - 1
+	case TopoRing:
+		return n / 2
+	case TopoStar:
+		if n <= 2 {
+			return n - 1
+		}
+		return 2
+	case TopoGrid:
+		if s.W*s.H != n {
+			panic(fmt.Sprintf("sim: grid %dx%d does not cover %d nodes", s.W, s.H, n))
+		}
+		return (s.W - 1) + (s.H - 1)
+	case TopoComplete:
+		if n <= 1 {
+			return 0
+		}
+		return 1
+	}
+	return dyngraph.Diameter(n, s.Edges(n))
+}
+
 // DriverKind selects the hardware-clock rate process.
 type DriverKind int
 
@@ -179,10 +210,54 @@ type Config struct {
 	SampleEvery float64
 
 	// CheckGradient attaches a GradientChecker to the simulation: every
-	// skew sample additionally buckets |L_u - L_v| over all node pairs by
+	// skew sample additionally buckets |L_u - L_v| over node pairs by
 	// their current hop distance, for comparison against GradientBound.
-	// Off by default — the check reads n^2 pairs per sample.
+	// Off by default — the exact check reads n^2 pairs per sample.
 	CheckGradient bool
+
+	// GradientRadius, when positive, caps the gradient check at pairs
+	// within that many hops: distances come from a radius-capped
+	// BoundedDistances (O(n·k) memory for ball size k) instead of the
+	// all-pairs matrix, and only buckets 1..GradientRadius are
+	// verified. The gradient property is per-distance, so the truncated
+	// check is exact for the buckets it covers. 0 keeps the exact
+	// all-distance check.
+	GradientRadius int
+
+	// GradientSources, when positive, checks only that many evenly
+	// spaced source nodes per sample instead of all n — a deterministic
+	// function of (N, GradientSources), so reports stay pure functions
+	// of the Config. 0 checks every node.
+	GradientSources int
+
+	// Parallel runs the scenario on the sharded conservative-parallel
+	// engine (des.ParallelEngine) instead of the serial kernel. Parallel
+	// mode is its own physics: message delays are drawn from per-node
+	// streams (so results do not depend on global event interleavings)
+	// and lie in (MinDelay, MaxDelay] instead of (0, MaxDelay] — the
+	// positive floor is the engine's lookahead. Reports are deterministic
+	// functions of the Config; the worker count is an execution detail
+	// and never changes a report, which the parallel determinism suite
+	// pins.
+	Parallel bool
+
+	// Shards is the number of node shards in parallel mode (0 = 8,
+	// clamped to N). The shard count decides which messages take the
+	// cross-shard path and is therefore part of the simulated physics:
+	// changing it changes the report, unlike Workers.
+	Shards int
+
+	// Workers is the goroutine count parallel mode executes shard
+	// windows with (0 = GOMAXPROCS). Pure execution detail: every worker
+	// count produces the bit-identical report, with 1 the serial
+	// reference.
+	Workers int
+
+	// MinDelay is the positive message-delay floor, the parallel
+	// engine's lookahead. 0 defaults to MaxDelay/4 in parallel mode and
+	// keeps the legacy (0, MaxDelay] law in serial mode (a zero floor
+	// draws the bit-identical delay sequence).
+	MinDelay float64
 
 	// NoCoalesce disables transport beacon coalescing (on by default):
 	// with coalescing, values sent over the same directed edge within one
@@ -215,6 +290,23 @@ func (c Config) WithDefaults() Config {
 	if c.SampleEvery == 0 {
 		c.SampleEvery = 0.1
 	}
+	if c.Parallel {
+		if c.Shards == 0 {
+			c.Shards = 8
+		}
+		if c.Shards > c.N {
+			c.Shards = c.N
+		}
+		if c.MinDelay == 0 {
+			c.MinDelay = c.MaxDelay / 4
+		}
+	}
+	if c.Shards < 0 || (c.Parallel && c.Shards < 1) {
+		panic("sim: Config.Shards must be positive")
+	}
+	if c.MinDelay < 0 || c.MinDelay >= c.MaxDelay {
+		panic("sim: Config.MinDelay must lie in [0, MaxDelay)")
+	}
 	c.Node.Rho = c.Rho
 	c.Node.MaxDelay = c.MaxDelay
 	c.Node = c.Node.WithDefaults()
@@ -239,7 +331,7 @@ func (c Config) GlobalSkewBound() float64 {
 	if c.Churn.Kind == ChurnRotatingStar {
 		hops = 2
 	} else {
-		d := dyngraph.Diameter(c.N, c.Topology.Edges(c.N))
+		d := c.Topology.diameter(c.N)
 		if d < 0 {
 			panic("sim: disconnected backbone topology")
 		}

@@ -1,0 +1,524 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+
+	"gcs/internal/clock"
+	"gcs/internal/des"
+	"gcs/internal/dyngraph"
+	"gcs/internal/gcs"
+	"gcs/internal/transport"
+)
+
+// ParallelSim runs one scenario on the sharded conservative-parallel
+// engine (des.ParallelEngine). Nodes are block-partitioned into
+// Config.Shards shards, each owning a serial DES engine that carries the
+// shard's clocks, drivers, beacon timers, and intra-shard message
+// deliveries; skew sampling, gradient checking, and topology churn run
+// on the coordinator's global engine, which observes every shard
+// barriered at a single consistent instant.
+//
+// Parallel mode is its own physics, not a reimplementation of the
+// serial Simulation's:
+//
+//   - message delays are drawn from per-node PRNG streams (the sender's
+//     stream, in the sender's local send order) and lie in (MinDelay,
+//     MaxDelay] — the positive floor is the engine's lookahead, the
+//     amount of simulated time shard windows may run ahead of each
+//     other;
+//   - messages are not coalesced, and a message crossing a removed edge
+//     is dropped at delivery time by an edge-history check
+//     (dyngraph.ExistsThroughout) instead of by an eager cancel, so the
+//     drop semantics — lost iff the edge was absent at any point of the
+//     flight — match the paper's model exactly.
+//
+// Because every delay draw, event order, and cross-shard merge is a
+// pure function of the Config (Shards included, Workers excluded), the
+// report is bit-identical for every worker count; workers=1 is the
+// serial reference the determinism suite compares against.
+//
+// A ParallelSim is reusable like Simulation: Reset rewires it in place,
+// recycling engines, graph storage, flight arenas, and per-node objects
+// when the (N, Shards, MinDelay) shape is unchanged.
+type ParallelSim struct {
+	Cfg    Config
+	P      *des.ParallelEngine
+	Graph  *dyngraph.Dynamic
+	Clocks []*clock.HardwareClock
+	Nodes  []*gcs.Node
+
+	// shardOf maps node -> shard (block partition); shards holds the
+	// per-shard transport state.
+	shardOf []int32
+	shards  []*pshard
+
+	// Reseedable PRNG streams. delayRands[i] is node i's private delay
+	// stream, forked per run from the delay root, so draw order depends
+	// only on the node's own send sequence — never on how shard windows
+	// interleave.
+	root       *des.Rand
+	delayRoot  *des.Rand
+	driveRand  *des.Rand
+	phaseRand  *des.Rand
+	delayRands []des.Rand
+
+	drivers []*pdriver
+
+	// shape keys the rebuild decision: engines and per-node objects are
+	// reconstructed only when it changes.
+	shape        pshape
+	subscribed   bool
+	initialEdges []dyngraph.Edge
+
+	vals        []float64
+	edgeFn      func(dyngraph.Edge)
+	sampleFn    func()
+	gradient    *GradientChecker
+	report      SkewReport
+	lastSampleT float64
+	started     bool
+}
+
+// pshape is the allocation shape of a wired ParallelSim: changing any
+// field forces a rebuild (clocks bind to their shard's engine at
+// construction, and the engine set is fixed by shards and lookahead).
+type pshape struct {
+	n        int
+	shards   int
+	minDelay float64
+}
+
+// pflight is one in-flight message on a shard: enough state to deliver
+// and to decide, at delivery time, whether the edge survived the flight.
+type pflight struct {
+	from, to int32
+	value    float64
+	sentAt   float64
+}
+
+// pshard is one shard's transport state: a pooled flight arena plus the
+// delivery callback and scratch buffers. A shard's state is touched only
+// by its own engine's events, by the cross-merge/global phases (which
+// run with shards stopped), or at wiring time — never concurrently.
+type pshard struct {
+	ps        *ParallelSim
+	idx       int
+	en        *des.Engine
+	flights   []pflight
+	free      []uint32
+	deliverFn des.ArgHandler
+	nbuf      []int
+	stats     transport.Stats
+}
+
+func (sh *pshard) alloc() uint32 {
+	if k := len(sh.free); k > 0 {
+		fi := sh.free[k-1]
+		sh.free = sh.free[:k-1]
+		return fi
+	}
+	sh.flights = append(sh.flights, pflight{})
+	return uint32(len(sh.flights) - 1)
+}
+
+// send accepts a value from node `from` (owned by this shard) toward
+// `to`, drawing the delay from the sender's stream and routing the
+// delivery to the destination's shard: an engine event here when `to`
+// is local, a cross-shard outbox message otherwise.
+func (sh *pshard) send(from, to int, value float64) {
+	ps := sh.ps
+	now := sh.en.Now()
+	r := &ps.delayRands[from]
+	// Delay in (MinDelay, MaxDelay]: the floor is the engine lookahead,
+	// so every cross-shard delivery lands beyond the current safe window.
+	d := ps.Cfg.MinDelay + (ps.Cfg.MaxDelay-ps.Cfg.MinDelay)*(1-r.Float64())
+	deliverAt := now + d
+	sh.stats.Sent++
+	dst := int(ps.shardOf[to])
+	if dst == sh.idx {
+		fi := sh.alloc()
+		sh.flights[fi] = pflight{from: int32(from), to: int32(to), value: value, sentAt: now}
+		sh.en.ScheduleArg(deliverAt, "psim.deliver", sh.deliverFn, uint64(fi))
+		return
+	}
+	ps.P.SendCross(sh.idx, dst, des.CrossMsg{
+		DeliverAt: deliverAt,
+		W0:        uint64(uint32(from))<<32 | uint64(uint32(to)),
+		W1:        math.Float64bits(now),
+		W2:        math.Float64bits(value),
+	})
+}
+
+// deliver hands flight fi to its destination node unless the edge was
+// absent at any point of the flight (the paper's drop rule, checked
+// against the graph's recorded history — an edge removed and re-added
+// mid-flight still loses the message).
+func (sh *pshard) deliver(fi uint32) {
+	f := sh.flights[fi]
+	sh.free = append(sh.free, fi)
+	ps := sh.ps
+	e := dyngraph.E(int(f.from), int(f.to))
+	if !ps.Graph.ExistsThroughout(e, f.sentAt, sh.en.Now()) {
+		sh.stats.Dropped++
+		return
+	}
+	sh.stats.Delivered++
+	ps.Nodes[f.to].OnMessage(int(f.from), f.value)
+}
+
+// broadcast sends value from `from` to every current neighbor, in
+// ascending order (the deterministic fan-out order fixes the sender's
+// delay draw order).
+func (sh *pshard) broadcast(from int, value float64) int {
+	sh.nbuf = sh.ps.Graph.AppendNeighbors(from, sh.nbuf[:0])
+	for _, v := range sh.nbuf {
+		sh.send(from, v, value)
+	}
+	return len(sh.nbuf)
+}
+
+// unicast sends value over one present edge (neighbor discovery's
+// immediate beacon); a send over an absent edge is refused.
+func (sh *pshard) unicast(from, to int, value float64) bool {
+	if !sh.ps.Graph.Present(dyngraph.E(from, to)) {
+		sh.stats.Refused++
+		return false
+	}
+	sh.send(from, to, value)
+	return true
+}
+
+func (sh *pshard) reset() {
+	sh.flights = sh.flights[:0]
+	sh.free = sh.free[:0]
+	sh.stats = transport.Stats{}
+}
+
+// pdriver is one node's rate driver on its shard engine, mirroring the
+// serial harness's driverState semantics (same per-node PRNG forks, same
+// labels and scheduling pattern).
+type pdriver struct {
+	ps     *ParallelSim
+	node   int
+	hw     *clock.HardwareClock
+	rand   des.Rand
+	high   bool
+	stepFn func()
+	flipFn func()
+}
+
+func newPDriver(ps *ParallelSim, node int, hw *clock.HardwareClock) *pdriver {
+	pd := &pdriver{ps: ps, node: node, hw: hw}
+	pd.stepFn = func() {
+		cfg := &pd.ps.Cfg
+		pd.hw.SetRate(pd.rand.Range(1-cfg.Rho, 1+cfg.Rho))
+		pd.en().ScheduleAfter(cfg.Driver.Interval*(0.5+pd.rand.Float64()), "clock.walk", pd.stepFn)
+	}
+	pd.flipFn = func() {
+		pd.flip()
+		pd.en().ScheduleAfter(pd.ps.Cfg.Driver.Interval, "clock.bang", pd.flipFn)
+	}
+	return pd
+}
+
+func (pd *pdriver) en() *des.Engine { return pd.ps.shardFor(pd.node).en }
+
+func (pd *pdriver) flip() {
+	if pd.high {
+		pd.hw.SetRate(1 + pd.ps.Cfg.Rho)
+	} else {
+		pd.hw.SetRate(1 - pd.ps.Cfg.Rho)
+	}
+	pd.high = !pd.high
+}
+
+func (pd *pdriver) install(driveRand *des.Rand) {
+	cfg := &pd.ps.Cfg
+	switch cfg.Driver.Kind {
+	case DriveConstant:
+		pd.hw.SetRate(1)
+	case DriveRandomWalk:
+		if cfg.Driver.Interval <= 0 {
+			panic("sim: RandomWalk interval must be positive")
+		}
+		driveRand.ForkInto(uint64(pd.node), &pd.rand)
+		pd.hw.SetRate(pd.rand.Range(1-cfg.Rho, 1+cfg.Rho))
+		pd.en().ScheduleAfter(cfg.Driver.Interval*(0.5+pd.rand.Float64()), "clock.walk", pd.stepFn)
+	case DriveBangBang:
+		if cfg.Driver.Interval <= 0 {
+			panic("sim: BangBang interval must be positive")
+		}
+		pd.high = pd.node%2 == 0
+		pd.flip()
+		pd.en().ScheduleAfter(cfg.Driver.Interval, "clock.bang", pd.flipFn)
+	default:
+		panic("sim: unknown driver kind")
+	}
+}
+
+// NewParallel wires a parallel simulation from the config without
+// running it. The config must have Parallel set.
+func NewParallel(cfg Config) *ParallelSim {
+	ps := &ParallelSim{
+		root:      des.NewRand(0),
+		delayRoot: des.NewRand(0),
+		driveRand: des.NewRand(0),
+		phaseRand: des.NewRand(0),
+	}
+	ps.edgeFn = func(e dyngraph.Edge) {
+		if d := math.Abs(ps.vals[e.U] - ps.vals[e.V]); d > ps.report.MaxAdjacentSkew {
+			ps.report.MaxAdjacentSkew = d
+		}
+	}
+	ps.sampleFn = func() {
+		ps.observe()
+		ps.P.Global().ScheduleAfter(ps.Cfg.SampleEvery, "sim.sample", ps.sampleFn)
+	}
+	ps.wire(cfg)
+	return ps
+}
+
+// Reset rewires the simulation in place for cfg, reusing engines, graph
+// storage, flight arenas, and per-node objects when the (N, Shards,
+// MinDelay) shape is unchanged. After Reset the simulation behaves
+// exactly like NewParallel(cfg): executions are bit-identical.
+func (ps *ParallelSim) Reset(cfg Config) { ps.wire(cfg) }
+
+func (ps *ParallelSim) shardFor(i int) *pshard { return ps.shards[ps.shardOf[i]] }
+
+func (ps *ParallelSim) wire(cfg Config) {
+	cfg = cfg.WithDefaults()
+	if !cfg.Parallel {
+		panic("sim: NewParallel requires Config.Parallel")
+	}
+	ps.Cfg = cfg
+
+	if shape := (pshape{n: cfg.N, shards: cfg.Shards, minDelay: cfg.MinDelay}); ps.P == nil || shape != ps.shape {
+		ps.build(cfg)
+		ps.shape = shape
+	} else {
+		ps.P.Reset()
+		for _, sh := range ps.shards {
+			sh.reset()
+		}
+	}
+
+	ps.root.Reseed(cfg.Seed)
+
+	if cfg.Churn.Kind == ChurnRotatingStar {
+		ps.initialEdges = nil
+	} else {
+		ps.initialEdges = cfg.Topology.Edges(cfg.N)
+	}
+	if ps.Graph == nil {
+		ps.Graph = dyngraph.NewDynamic(cfg.N, ps.initialEdges)
+	} else {
+		ps.Graph.Reset(cfg.N, ps.initialEdges)
+	}
+
+	ps.root.ForkInto(0xde1a9, ps.delayRoot)
+	for i := 0; i < cfg.N; i++ {
+		ps.delayRoot.ForkInto(uint64(i), &ps.delayRands[i])
+	}
+
+	ps.root.ForkInto(0xd81fe, ps.driveRand)
+	for i := 0; i < cfg.N; i++ {
+		ps.Clocks[i].Reset(1)
+		ps.Nodes[i].Reset(cfg.Node)
+		ps.drivers[i].install(ps.driveRand)
+	}
+
+	// Neighbor discovery, subscribed once: churn events run in the global
+	// phase, so the resulting immediate beacons are attributed to the
+	// sending node's shard serially.
+	if !ps.subscribed {
+		ps.Graph.Subscribe(pdiscovery{ps})
+		ps.subscribed = true
+	}
+
+	if ch := ps.churner(); ch != nil {
+		ch.Install(ps.P.Global(), ps.Graph)
+	}
+
+	ps.root.ForkInto(0x9a5e, ps.phaseRand)
+	for i := 0; i < cfg.N; i++ {
+		ps.Nodes[i].Start(ps.phaseRand.Range(0, cfg.Node.BeaconEvery))
+	}
+
+	ps.gradient = wireGradient(ps.gradient, cfg)
+
+	if cap(ps.vals) < cfg.N {
+		ps.vals = make([]float64, cfg.N)
+	} else {
+		ps.vals = ps.vals[:cfg.N]
+	}
+	ps.report = SkewReport{}
+	ps.lastSampleT = 0
+	ps.started = false
+}
+
+// build constructs the engine set and every per-node object for a new
+// shape. Clocks bind to their shard's engine at construction, so a
+// shape change cannot reuse them.
+func (ps *ParallelSim) build(cfg Config) {
+	ps.P = des.NewParallelEngine(cfg.Shards, cfg.MinDelay)
+	ps.shardOf = make([]int32, cfg.N)
+	ps.shards = make([]*pshard, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		sh := &pshard{ps: ps, idx: s, en: ps.P.Shard(s)}
+		sh.deliverFn = func(arg uint64) { sh.deliver(uint32(arg)) }
+		ps.shards[s] = sh
+	}
+	for i := 0; i < cfg.N; i++ {
+		// Block partition: contiguous node ranges, so ring/grid topologies
+		// keep almost all edges shard-internal.
+		ps.shardOf[i] = int32(i * cfg.Shards / cfg.N)
+	}
+	ps.P.SetCrossHandler(func(dst int, m des.CrossMsg) {
+		sh := ps.shards[dst]
+		fi := sh.alloc()
+		sh.flights[fi] = pflight{
+			from:   int32(m.W0 >> 32),
+			to:     int32(uint32(m.W0)),
+			value:  math.Float64frombits(m.W2),
+			sentAt: math.Float64frombits(m.W1),
+		}
+		sh.en.ScheduleArg(m.DeliverAt, "psim.deliver", sh.deliverFn, uint64(fi))
+	})
+
+	ps.Clocks = make([]*clock.HardwareClock, cfg.N)
+	ps.Nodes = make([]*gcs.Node, cfg.N)
+	ps.drivers = make([]*pdriver, cfg.N)
+	ps.delayRands = make([]des.Rand, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		i := i
+		hw := clock.New(ps.P.Shard(int(ps.shardOf[i])), 1)
+		nd := gcs.New(i, hw, cfg.Node,
+			func(v float64) int { return ps.shardFor(i).broadcast(i, v) },
+			func(buf []int) []int { return ps.Graph.AppendNeighbors(i, buf) })
+		nd.SetUnicast(func(to int, v float64) bool { return ps.shardFor(i).unicast(i, to, v) })
+		ps.Clocks[i] = hw
+		ps.Nodes[i] = nd
+		ps.drivers[i] = newPDriver(ps, i, hw)
+	}
+}
+
+// pdiscovery relays topology events to the algorithm layer, like the
+// serial harness's discovery: both endpoints of a fresh edge beacon
+// immediately over it. Churn mutates the graph only from global-phase
+// events, so the handlers run serially with every shard barriered.
+type pdiscovery struct{ ps *ParallelSim }
+
+func (d pdiscovery) EdgeAdded(t float64, e dyngraph.Edge) {
+	d.ps.Nodes[e.U].OnEdgeAdded(e.V)
+	d.ps.Nodes[e.V].OnEdgeAdded(e.U)
+}
+
+func (d pdiscovery) EdgeRemoved(t float64, e dyngraph.Edge) {}
+
+func (ps *ParallelSim) churner() dyngraph.Churner {
+	cfg := ps.Cfg
+	switch cfg.Churn.Kind {
+	case ChurnNone:
+		return nil
+	case ChurnVolatile:
+		return dyngraph.VolatileEdges{
+			Candidates: volatileCandidates(cfg.N, cfg.Churn.ExtraEdges, ps.initialEdges, ps.root.Fork(0xca9d)),
+			Lifetime:   cfg.Churn.Lifetime,
+			Absence:    cfg.Churn.Absence,
+			Rand:       ps.root.Fork(0xc400),
+		}
+	case ChurnRotatingStar:
+		return dyngraph.RotatingStar{
+			Period:  cfg.Churn.Period,
+			Overlap: cfg.Churn.Overlap,
+		}
+	}
+	panic("sim: unknown churn kind")
+}
+
+// observe records one skew sample. It runs on the global engine, with
+// every shard barriered at the sample instant, so every clock read is
+// consistent.
+func (ps *ParallelSim) observe() {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, nd := range ps.Nodes {
+		l := nd.Logical()
+		ps.vals[i] = l
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	if spread := hi - lo; spread > ps.report.MaxGlobalSkew {
+		ps.report.MaxGlobalSkew = spread
+	}
+	if ps.gradient != nil {
+		ps.gradient.observe(ps.Graph, ps.vals)
+	}
+	ps.Graph.RangeCurrentEdges(ps.edgeFn)
+	ps.report.FinalGlobalSkew = hi - lo
+	ps.report.Samples++
+	ps.lastSampleT = ps.P.Global().Now()
+}
+
+// Gradient returns the simulation's gradient checker, or nil when
+// Config.CheckGradient is off.
+func (ps *ParallelSim) Gradient() *GradientChecker { return ps.gradient }
+
+// Run executes the scenario to its horizon and returns the report. Like
+// the serial Run it is idempotent; the report is a pure function of the
+// Config — Workers only decides how many goroutines execute the shard
+// windows.
+func (ps *ParallelSim) Run() SkewReport {
+	cfg := ps.Cfg
+	if !ps.started {
+		ps.started = true
+		ps.P.Global().Schedule(ps.P.Global().Now(), "sim.sample", ps.sampleFn)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ps.P.Run(cfg.Horizon, workers)
+	if ps.report.Samples == 0 || ps.lastSampleT < cfg.Horizon {
+		ps.observe()
+	}
+
+	ps.report.Bound = cfg.GlobalSkewBound()
+	ps.report.Transport = transport.Stats{}
+	for _, sh := range ps.shards {
+		ps.report.Transport.Sent += sh.stats.Sent
+		ps.report.Transport.Delivered += sh.stats.Delivered
+		ps.report.Transport.Dropped += sh.stats.Dropped
+		ps.report.Transport.Refused += sh.stats.Refused
+	}
+	ps.report.EventsExecuted = ps.P.Executed()
+	ps.report.EdgeAdds, ps.report.EdgeRemoves = ps.Graph.Stats()
+	if ps.gradient != nil {
+		ps.report.PerDistanceSkew = ps.gradient.PerDistance()
+		ps.report.DistanceRecomputes = ps.gradient.Recomputes()
+	}
+
+	ps.report.MinRateSeen, ps.report.MaxRateSeen = math.Inf(1), math.Inf(-1)
+	ps.report.TotalJumps, ps.report.TotalMessages = 0, 0
+	ps.report.TotalBeacons, ps.report.TotalDiscoveries = 0, 0
+	for i, hw := range ps.Clocks {
+		mn, mx := hw.RateBoundsSeen()
+		if mn < ps.report.MinRateSeen {
+			ps.report.MinRateSeen = mn
+		}
+		if mx > ps.report.MaxRateSeen {
+			ps.report.MaxRateSeen = mx
+		}
+		snap := ps.Nodes[i].Snap()
+		ps.report.TotalJumps += snap.Jumps
+		ps.report.TotalMessages += snap.Messages
+		ps.report.TotalBeacons += snap.Beacons
+		ps.report.TotalDiscoveries += snap.Discoveries
+	}
+	return ps.report
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"gcs/internal/dyngraph"
+)
+
+func parallelRingConfig(n, shards int) Config {
+	return Config{
+		N: n, Seed: 7, Horizon: 5, Rho: 0.01, MaxDelay: 0.01,
+		Topology: TopologySpec{Kind: TopoRing},
+		Driver:   DriverSpec{Kind: DriveRandomWalk, Interval: 1},
+		Parallel: true,
+		Shards:   shards,
+	}
+}
+
+func parallelChurnConfig(n, shards int) Config {
+	cfg := parallelRingConfig(n, shards)
+	cfg.Churn = ChurnSpec{Kind: ChurnVolatile, Lifetime: 1, Absence: 0.5, ExtraEdges: 24}
+	return cfg
+}
+
+// TestParallelSimWorkerInvariance is the parallel determinism contract:
+// the report is a pure function of the Config, and the worker count is
+// invisible — every worker count reproduces the workers=1 serial
+// reference bit for bit, on static and churning topologies alike.
+func TestParallelSimWorkerInvariance(t *testing.T) {
+	star := parallelRingConfig(24, 4)
+	star.Churn = ChurnSpec{Kind: ChurnRotatingStar, Period: 1, Overlap: 0.25}
+	for name, base := range map[string]Config{
+		"ring":  parallelRingConfig(96, 5),
+		"churn": parallelChurnConfig(64, 4),
+		// The rotating star is the maximally dynamic pattern: every edge
+		// is hub-incident, so almost all traffic crosses shards and every
+		// rotation runs a burst of global-phase discovery beacons.
+		"star": star,
+	} {
+		t.Run(name, func(t *testing.T) {
+			ref := base
+			ref.Workers = 1
+			want := Run(ref)
+			if want.Transport.Delivered == 0 || want.Samples < 2 {
+				t.Fatalf("degenerate reference run: %+v", want)
+			}
+			for _, workers := range []int{2, 4} {
+				cfg := base
+				cfg.Workers = workers
+				if got := Run(cfg); !reflect.DeepEqual(got, want) {
+					t.Fatalf("workers=%d diverged from serial reference:\n got %+v\nwant %+v",
+						workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSimSeedSensitivity pins same-seed reproducibility and that
+// the seed (and the shard count — part of the physics) actually steers
+// the execution.
+func TestParallelSimSeedSensitivity(t *testing.T) {
+	cfg := parallelRingConfig(64, 4)
+	first := Run(cfg)
+	if again := Run(cfg); !reflect.DeepEqual(first, again) {
+		t.Fatal("same config produced different reports")
+	}
+	other := cfg
+	other.Seed = 99
+	if got := Run(other); got.MaxGlobalSkew == first.MaxGlobalSkew &&
+		got.Transport.Sent == first.Transport.Sent {
+		t.Fatal("different seeds produced an identical execution")
+	}
+}
+
+// TestParallelSimArenaReuse pins arena-style reuse: re-running a config
+// through one Arena — including across an intervening run of a different
+// shard shape, which forces a full rebuild — reproduces the fresh run
+// bit for bit.
+func TestParallelSimArenaReuse(t *testing.T) {
+	cfgA := parallelChurnConfig(64, 4)
+	cfgB := parallelRingConfig(96, 6)
+	want := Run(cfgA)
+	a := NewArena()
+	if got := a.Run(cfgA); !reflect.DeepEqual(got, want) {
+		t.Fatal("arena first run diverged from fresh run")
+	}
+	if got := a.Run(cfgB); !reflect.DeepEqual(got, Run(cfgB)) {
+		t.Fatal("arena shape-change run diverged from fresh run")
+	}
+	if got := a.Run(cfgA); !reflect.DeepEqual(got, want) {
+		t.Fatal("arena re-run after shape change diverged from fresh run")
+	}
+}
+
+// TestParallelSimPhysics sanity-checks the parallel execution as a
+// simulation: skew within the analytic bound, drift within [1-rho,
+// 1+rho], value conservation (everything sent is delivered, dropped, or
+// still in flight at the horizon), and genuine cross-shard pipelining
+// (windows executed, traffic crossed shards).
+func TestParallelSimPhysics(t *testing.T) {
+	cfg := parallelChurnConfig(96, 6)
+	ps := NewParallel(cfg)
+	rpt := ps.Run()
+	eff := cfg.WithDefaults()
+	if rpt.MaxGlobalSkew > rpt.Bound {
+		t.Errorf("global skew %v exceeds analytic bound %v", rpt.MaxGlobalSkew, rpt.Bound)
+	}
+	if rpt.MinRateSeen < 1-eff.Rho || rpt.MaxRateSeen > 1+eff.Rho {
+		t.Errorf("rates [%v, %v] escape [%v, %v]",
+			rpt.MinRateSeen, rpt.MaxRateSeen, 1-eff.Rho, 1+eff.Rho)
+	}
+	if rpt.Transport.Delivered+rpt.Transport.Dropped > rpt.Transport.Sent {
+		t.Errorf("conservation violated: sent=%d delivered=%d dropped=%d",
+			rpt.Transport.Sent, rpt.Transport.Delivered, rpt.Transport.Dropped)
+	}
+	if rpt.Transport.Delivered == 0 || rpt.TotalBeacons == 0 || rpt.EdgeAdds == 0 {
+		t.Errorf("degenerate run: %+v", rpt)
+	}
+	if ps.P.Windows() == 0 {
+		t.Error("no parallel windows executed")
+	}
+	// One sample per period plus t=0, plus possibly one extra when
+	// accumulated float periods land just short of the horizon (the same
+	// fencepost the serial sampler has).
+	minSamples := int(eff.Horizon/eff.SampleEvery) + 1
+	if rpt.Samples < minSamples || rpt.Samples > minSamples+1 {
+		t.Errorf("samples = %d, want %d or %d", rpt.Samples, minSamples, minSamples+1)
+	}
+	// Block partitioning a ring leaves exactly one boundary edge per
+	// shard pair; beacons over them must have crossed shards.
+	crossed := false
+	for s := 0; s < ps.P.NumShards(); s++ {
+		if ps.P.Shard(s).Executed() == 0 {
+			t.Errorf("shard %d executed no events", s)
+		}
+	}
+	for i := 1; i < cfg.N; i++ {
+		if ps.shardOf[i] != ps.shardOf[i-1] {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Fatal("partition degenerated to a single shard")
+	}
+}
+
+// TestParallelSimGradientCheck runs the radius-capped gradient checker
+// on the parallel harness: the global-phase barrier makes every sample a
+// consistent cut, so buckets must populate and respect the bound shape.
+func TestParallelSimGradientCheck(t *testing.T) {
+	cfg := parallelRingConfig(64, 4)
+	cfg.CheckGradient = true
+	cfg.GradientRadius = 3
+	rpt := Run(cfg)
+	if len(rpt.PerDistanceSkew) == 0 || rpt.DistanceRecomputes == 0 {
+		t.Fatalf("gradient checker recorded nothing: %+v", rpt.PerDistanceSkew)
+	}
+	if got := len(rpt.PerDistanceSkew) - 1; got > cfg.GradientRadius {
+		t.Fatalf("bucket at distance %d beyond radius %d", got, cfg.GradientRadius)
+	}
+	for d := 1; d < len(rpt.PerDistanceSkew); d++ {
+		if rpt.PerDistanceSkew[d] <= 0 {
+			t.Fatalf("empty bucket at distance %d on a static ring", d)
+		}
+	}
+}
+
+// TestTopologyDiameterClosedForm pins the closed-form diameters used by
+// the analytic bound against the generic all-source BFS, across the
+// generator topologies and sizes (the closed forms exist so Ring100k
+// does not pay an O(n²) sweep per bound evaluation).
+func TestTopologyDiameterClosedForm(t *testing.T) {
+	for _, tc := range []struct {
+		spec TopologySpec
+		minN int
+	}{
+		{TopologySpec{Kind: TopoLine}, 1},
+		{TopologySpec{Kind: TopoRing}, 3}, // dyngraph.Ring needs n >= 3
+		{TopologySpec{Kind: TopoStar}, 1},
+		{TopologySpec{Kind: TopoComplete}, 1},
+	} {
+		for n := tc.minN; n <= 33; n++ {
+			want := dyngraph.Diameter(n, tc.spec.Edges(n))
+			if got := tc.spec.diameter(n); got != want {
+				t.Errorf("%v n=%d: closed form %d, BFS %d", tc.spec.Kind, n, got, want)
+			}
+		}
+	}
+	for _, wh := range [][2]int{{1, 1}, {1, 7}, {4, 4}, {3, 8}, {6, 5}} {
+		spec := TopologySpec{Kind: TopoGrid, W: wh[0], H: wh[1]}
+		n := wh[0] * wh[1]
+		want := dyngraph.Diameter(n, spec.Edges(n))
+		if got := spec.diameter(n); got != want {
+			t.Errorf("grid %dx%d: closed form %d, BFS %d", wh[0], wh[1], got, want)
+		}
+	}
+}

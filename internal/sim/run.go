@@ -82,9 +82,10 @@ type Simulation struct {
 	driveRand *des.Rand
 	phaseRand *des.Rand
 	// delayFn is the long-lived base delay law over delayRand; it is
-	// rebuilt only when MaxDelay changes.
+	// rebuilt only when the delay bounds change.
 	delayFn  transport.DelayFn
 	delayMax float64
+	delayMin float64
 	// onMessage is the single delivery handler shared by every node.
 	onMessage transport.Handler
 	// sampleFn is the long-lived periodic skew sampler.
@@ -260,9 +261,12 @@ func (s *Simulation) wire(cfg Config) {
 		s.Graph.Reset(cfg.N, s.initialEdges)
 	}
 
-	if s.delayFn == nil || s.delayMax != cfg.MaxDelay {
+	if s.delayFn == nil || s.delayMax != cfg.MaxDelay || s.delayMin != cfg.MinDelay {
 		s.delayMax = cfg.MaxDelay
-		s.delayFn = transport.UniformDelay(cfg.MaxDelay, s.delayRand)
+		s.delayMin = cfg.MinDelay
+		// A zero MinDelay draws the bit-identical sequence as the legacy
+		// UniformDelay law, so existing serial reports are unchanged.
+		s.delayFn = transport.UniformDelayIn(cfg.MinDelay, cfg.MaxDelay, s.delayRand)
 	}
 	s.root.ForkInto(0xde1a9, s.delayRand)
 	if s.Net == nil {
@@ -315,15 +319,7 @@ func (s *Simulation) wire(cfg Config) {
 		s.Nodes[i].Start(s.phaseRand.Range(0, cfg.Node.BeaconEvery))
 	}
 
-	if cfg.CheckGradient {
-		if s.gradient == nil || s.gradient.nodes() != cfg.N {
-			s.gradient = newGradientChecker(cfg.N)
-		} else {
-			s.gradient.reset()
-		}
-	} else {
-		s.gradient = nil
-	}
+	s.gradient = wireGradient(s.gradient, cfg)
 
 	if cap(s.vals) < cfg.N {
 		s.vals = make([]float64, cfg.N)
@@ -334,6 +330,28 @@ func (s *Simulation) wire(cfg Config) {
 	s.report = SkewReport{}
 	s.lastSampleT = 0
 	s.started = false
+}
+
+// wireGradient returns the checker for cfg, reusing prev when its shape
+// still fits (reset in place) and replacing it otherwise; nil when the
+// check is off. Shared by the serial and parallel harnesses.
+func wireGradient(prev *GradientChecker, cfg Config) *GradientChecker {
+	if !cfg.CheckGradient {
+		return nil
+	}
+	wantSources := cfg.GradientSources
+	if wantSources >= cfg.N {
+		wantSources = 0 // sampling every node is the exact check
+	}
+	r, src := 0, 0
+	if prev != nil {
+		r, src = prev.shape()
+	}
+	if prev == nil || prev.nodes() != cfg.N || r != cfg.GradientRadius || src != wantSources {
+		return newGradientChecker(cfg.N, cfg.GradientRadius, wantSources)
+	}
+	prev.reset()
+	return prev
 }
 
 // discovery relays topology events to the algorithm layer: both
@@ -356,7 +374,7 @@ func (s *Simulation) churner(root *des.Rand) dyngraph.Churner {
 		return nil
 	case ChurnVolatile:
 		if key := (volCandKey{edges: s.edgeCfg, seed: cfg.Seed, extra: cfg.Churn.ExtraEdges}); s.volCands == nil || key != s.volKey {
-			s.volCands = s.volatileCandidates(root.Fork(0xca9d))
+			s.volCands = volatileCandidates(cfg.N, cfg.Churn.ExtraEdges, s.initialEdges, root.Fork(0xca9d))
 			s.volKey = key
 		}
 		return dyngraph.VolatileEdges{
@@ -374,23 +392,23 @@ func (s *Simulation) churner(root *des.Rand) dyngraph.Churner {
 	panic("sim: unknown churn kind")
 }
 
-// volatileCandidates draws ExtraEdges distinct random edges that are not
-// part of the static backbone (the initial edge set already materialized
-// in wire). Rejection sampling is capped, so on dense backbones it can
-// exhaust its attempt budget short of the request; the remainder is then
-// filled by deterministic enumeration of the unused non-backbone pairs,
-// so the churner is under-provisioned only when the graph genuinely has
-// fewer candidates than requested.
-func (s *Simulation) volatileCandidates(r *des.Rand) []dyngraph.Edge {
+// volatileCandidates draws extra distinct random edges over n nodes that
+// are not part of the static backbone. Rejection sampling is capped, so
+// on dense backbones it can exhaust its attempt budget short of the
+// request; the remainder is then filled by deterministic enumeration of
+// the unused non-backbone pairs, so the churner is under-provisioned
+// only when the graph genuinely has fewer candidates than requested.
+// Shared by the serial and parallel harnesses.
+func volatileCandidates(n, extra int, backboneEdges []dyngraph.Edge, r *des.Rand) []dyngraph.Edge {
 	backbone := map[dyngraph.Edge]bool{}
-	for _, e := range s.initialEdges {
+	for _, e := range backboneEdges {
 		backbone[e] = true
 	}
 	seen := map[dyngraph.Edge]bool{}
 	var out []dyngraph.Edge
-	for attempts := 0; len(out) < s.Cfg.Churn.ExtraEdges && attempts < 100*s.Cfg.Churn.ExtraEdges+100; attempts++ {
-		u := r.Intn(s.Cfg.N)
-		v := r.Intn(s.Cfg.N)
+	for attempts := 0; len(out) < extra && attempts < 100*extra+100; attempts++ {
+		u := r.Intn(n)
+		v := r.Intn(n)
 		if u == v {
 			continue
 		}
@@ -401,8 +419,8 @@ func (s *Simulation) volatileCandidates(r *des.Rand) []dyngraph.Edge {
 		seen[e] = true
 		out = append(out, e)
 	}
-	for u := 0; u < s.Cfg.N && len(out) < s.Cfg.Churn.ExtraEdges; u++ {
-		for v := u + 1; v < s.Cfg.N && len(out) < s.Cfg.Churn.ExtraEdges; v++ {
+	for u := 0; u < n && len(out) < extra; u++ {
+		for v := u + 1; v < n && len(out) < extra; v++ {
 			e := dyngraph.Edge{U: u, V: v}
 			if backbone[e] || seen[e] {
 				continue
@@ -476,7 +494,13 @@ func (s *Simulation) boundFor(cfg Config) float64 {
 	key.SampleEvery = 0
 	key.Driver = DriverSpec{}
 	key.CheckGradient = false
+	key.GradientRadius = 0
+	key.GradientSources = 0
 	key.NoCoalesce = false
+	key.Parallel = false
+	key.Shards = 0
+	key.Workers = 0
+	key.MinDelay = 0
 	if !s.boundOK || key != s.boundCfg {
 		s.bound = cfg.GlobalSkewBound()
 		s.boundCfg = key
@@ -531,7 +555,11 @@ func (s *Simulation) Run() SkewReport {
 // Config.CheckGradient is off.
 func (s *Simulation) Gradient() *GradientChecker { return s.gradient }
 
-// Run wires and executes cfg in one call.
+// Run wires and executes cfg in one call, dispatching to the sharded
+// parallel harness when Config.Parallel is set.
 func Run(cfg Config) SkewReport {
+	if cfg.Parallel {
+		return NewParallel(cfg).Run()
+	}
 	return New(cfg).Run()
 }

@@ -24,9 +24,13 @@
 // delivery — which is what the sim harness's coalesced/uncoalesced
 // equivalence tests pin (the GCS algorithm sends at most one value per
 // directed edge per tick, so its batches are all singletons today; the
-// cap exists for multi-send workloads). Coalescing is off by default so
-// the raw per-message semantics (one delivery per Send) stay available
-// to tests and adversarial schedules.
+// cap exists for multi-send workloads). Each layer owns its own
+// default: a raw Network starts with coalescing off, so tests and
+// adversarial schedules that construct one directly get the one-delivery
+// -per-Send semantics, while the sim harness — the layer that wires
+// production scenarios — switches it on for every run unless
+// Config.NoCoalesce opts out. Code that wants batching on a raw Network
+// must call SetCoalescing(true) itself.
 //
 // The send/deliver path is allocation-free in steady state: payloads are
 // typed float64 values (the only payload the GCS model carries — a
@@ -78,6 +82,25 @@ func UniformDelay(maxDelay float64, r *des.Rand) DelayFn {
 	return func(*Message) float64 {
 		// 1 - Float64() is in (0, 1], so the delay is in (0, maxDelay].
 		return maxDelay * (1 - r.Float64())
+	}
+}
+
+// UniformDelayIn returns a DelayFn drawing uniformly from (minDelay,
+// maxDelay] using the given deterministic source. With minDelay == 0 it
+// draws the identical sequence as UniformDelay(maxDelay, r) — bit for
+// bit, since 0 + (max-0)*u == max*u in float arithmetic — so a serial
+// configuration gains a positive delay floor (the parallel engine's
+// lookahead) without perturbing the legacy delay law.
+func UniformDelayIn(minDelay, maxDelay float64, r *des.Rand) DelayFn {
+	if maxDelay <= 0 {
+		panic("transport: maxDelay must be positive")
+	}
+	if minDelay < 0 || minDelay >= maxDelay {
+		panic("transport: minDelay must lie in [0, maxDelay)")
+	}
+	return func(*Message) float64 {
+		// 1 - Float64() is in (0, 1], so the delay is in (minDelay, maxDelay].
+		return minDelay + (maxDelay-minDelay)*(1-r.Float64())
 	}
 }
 

@@ -305,3 +305,100 @@ func TestMaskedSendSteadyStateDoesNotAllocate(t *testing.T) {
 		t.Errorf("steady-state masked broadcast+deliver allocated %v objects/op, want 0", allocs)
 	}
 }
+
+// TestMultiValueDeliveryGrowsArenaDuringHandler is the regression test
+// for the multi-value aliasing hazard in deliver: Message.Values aliases
+// the pooled flight's value buffer while the handler runs, and the
+// flight is only released after the handler returns. A handler that
+// re-broadcasts during a multi-value delivery allocates fresh flights —
+// growing (and possibly reallocating) the flight arena — and must still
+// observe its own batch uncorrupted, with every counter conserved.
+func TestMultiValueDeliveryGrowsArenaDuringHandler(t *testing.T) {
+	const fanout = 9
+	const batch = 8
+	edges := []dyngraph.Edge{dyngraph.E(0, 1)}
+	for v := 2; v < 2+fanout; v++ {
+		edges = append(edges, dyngraph.E(1, v))
+	}
+	r := newRig(t, 2+fanout, edges, FixedDelay(0.25), 1)
+	r.net.SetCoalescing(true)
+
+	sawBatch := false
+	r.net.SetHandler(1, func(m Message) {
+		if m.Values == nil {
+			return
+		}
+		sawBatch = true
+		// Re-broadcast while the delivered Values still aliases the
+		// pooled buffer: one fresh flight per spoke edge, enough to
+		// force the flight arena to grow past its pre-delivery capacity.
+		for v := 2; v < 2+fanout; v++ {
+			if !r.net.Send(1, v, 100+float64(v)) {
+				t.Errorf("re-broadcast to %d refused", v)
+			}
+		}
+		if len(m.Values) != batch {
+			t.Errorf("batch has %d values, want %d", len(m.Values), batch)
+		}
+		for i, got := range m.Values {
+			if got != float64(i) {
+				t.Errorf("Values[%d] = %v, want %v (corrupted during handler)", i, got, float64(i))
+			}
+		}
+		if m.Value != m.Values[0] {
+			t.Errorf("Value = %v, want Values[0] = %v", m.Value, m.Values[0])
+		}
+	})
+
+	// One engine event sends the whole batch, so coalescing folds it
+	// into a single multi-value flight.
+	r.en.Schedule(0, "batch", func() {
+		for i := 0; i < batch; i++ {
+			if !r.net.Send(0, 1, float64(i)) {
+				t.Errorf("send %d refused", i)
+			}
+		}
+	})
+	r.en.Run(5)
+
+	if !sawBatch {
+		t.Fatal("no multi-value delivery observed; coalescing not exercised")
+	}
+	for v := 2; v < 2+fanout; v++ {
+		if len(r.got[v]) != 1 || r.got[v][0].Value != 100+float64(v) {
+			t.Fatalf("spoke %d got %v, want one delivery of %v", v, r.got[v], 100+float64(v))
+		}
+	}
+	s := r.net.Stats()
+	wantSent := uint64(batch + fanout)
+	if s.Sent != wantSent || s.Delivered != wantSent || s.Dropped != 0 {
+		t.Fatalf("stats = %+v, want Sent = Delivered = %d, Dropped = 0", s, wantSent)
+	}
+}
+
+// TestUniformDelayInMatchesUniformDelayAtZeroFloor pins the bit-identity
+// contract: UniformDelayIn(0, max, r) must draw the exact sequence of
+// UniformDelay(max, r) so serial configs are unperturbed by the floor
+// knob.
+func TestUniformDelayInMatchesUniformDelayAtZeroFloor(t *testing.T) {
+	a := UniformDelay(0.25, des.NewRand(99))
+	b := UniformDelayIn(0, 0.25, des.NewRand(99))
+	for i := 0; i < 1000; i++ {
+		da, db := a(nil), b(nil)
+		if da != db {
+			t.Fatalf("draw %d: UniformDelay %v != UniformDelayIn %v", i, da, db)
+		}
+	}
+}
+
+// TestUniformDelayInRespectsFloor pins that every draw lands in
+// (minDelay, maxDelay].
+func TestUniformDelayInRespectsFloor(t *testing.T) {
+	fn := UniformDelayIn(0.1, 0.25, des.NewRand(5))
+	for i := 0; i < 1000; i++ {
+		d := fn(nil)
+		if d <= 0.1 || d > 0.25 {
+			t.Fatalf("draw %d: delay %v outside (0.1, 0.25]", i, d)
+		}
+	}
+}
