@@ -32,11 +32,21 @@
 // as CSV + JSON; output is bit-identical for every -workers value:
 //
 //	go run ./cmd/gcsim sweep -n 1024,4096 -topos ring,grid -workers 4 -out .
+//
+// The `chaos` subcommand runs the fault-injection grid — every fault
+// plan crossed with ring, grid, and rotating-star scenarios — and fails
+// unless every cell injects faults and re-converges inside its analytic
+// bound. Individual scenarios take the same fault plan via -fault-*
+// flags (also accepted by sweep and gradient):
+//
+//	go run ./cmd/gcsim chaos -n 48 -horizon 12 -out .
+//	go run ./cmd/gcsim -n 64 -fault-drop 0.2 -fault-crash-every 5
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -59,6 +69,9 @@ func main() {
 			return
 		case "sweep":
 			runSweep(os.Args[2:])
+			return
+		case "chaos":
+			runChaos(os.Args[2:])
 			return
 		}
 	}
@@ -91,6 +104,7 @@ func runScenario() {
 		workers  = flag.Int("workers", 0, "parallel worker goroutines — never affects the report (0 = GOMAXPROCS)")
 		minDelay = flag.Float64("min-delay", 0, "parallel delay floor = conservative lookahead (0 = delay/4)")
 	)
+	ff := addFaultFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := sim.Config{
@@ -162,6 +176,13 @@ func runScenario() {
 		fail("unknown churn %q", *churn)
 	}
 
+	cfg.Faults = ff.spec()
+	// The harness boundary returns configuration errors instead of
+	// panicking; sim.New below only ever sees a validated config.
+	if err := cfg.Validate(); err != nil {
+		fail("%v", err)
+	}
+
 	var rpt sim.SkewReport
 	var eventCounts map[string]uint64
 	if *parallel {
@@ -198,6 +219,16 @@ func runScenario() {
 		rpt.EventsExecuted, rpt.TotalBeacons, rpt.TotalJumps, rpt.EdgeAdds, rpt.EdgeRemoves, rpt.Samples)
 	fmt.Printf("drift:    ratesSeen=[%.6f, %.6f] allowed=[%.6f, %.6f]\n",
 		rpt.MinRateSeen, rpt.MaxRateSeen, 1-eff.Rho, 1+eff.Rho)
+	if eff.Faults.Enabled() {
+		fst := rpt.Faults
+		fmt.Printf("faults:   drops=%d dups=%d spikes=%d crashes=%d recoveries=%d rateExcursions=%d lastFault=%.3f\n",
+			fst.Drops, fst.Dups, fst.DelaySpikes, fst.Crashes, fst.Recoveries, fst.RateExcursions, fst.LastFaultT)
+		if math.IsInf(rpt.ReconvergenceTime, 1) {
+			fmt.Println("reconverge: NEVER — global skew still outside the bound at the horizon")
+		} else {
+			fmt.Printf("reconverge: %.6fs after the last fault\n", rpt.ReconvergenceTime)
+		}
+	}
 
 	if *events {
 		labels := make([]string, 0, len(eventCounts))
@@ -216,6 +247,16 @@ func runScenario() {
 		}
 	}
 
+	// A faulted run is allowed to breach the bound while faults are
+	// firing — the gate is re-convergence; an unfaulted run must stay
+	// inside the bound throughout.
+	if eff.Faults.Enabled() {
+		if math.IsInf(rpt.ReconvergenceTime, 1) {
+			fail("NO RECONVERGENCE: global skew never re-entered the analytic bound after the last fault")
+		}
+		fmt.Println("ok: re-converged inside the analytic bound after the last fault")
+		return
+	}
 	if rpt.MaxGlobalSkew > rpt.Bound {
 		fail("VIOLATION: max global skew %v exceeds analytic bound %v", rpt.MaxGlobalSkew, rpt.Bound)
 	}

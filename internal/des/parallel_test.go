@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -180,7 +181,9 @@ func TestParallelStopSticky(t *testing.T) {
 // TestParallelLookaheadViolationPanics pins the machine-checked safety
 // net: a cross message whose delivery time is behind the destination
 // shard's clock (a delay below the lookahead) panics at merge rather
-// than silently firing in the past.
+// than silently firing in the past — and the panic message names the
+// destination shard and both clocks, since it is the one diagnostic a
+// physics bug in a sharded run produces.
 func TestParallelLookaheadViolationPanics(t *testing.T) {
 	p := NewParallelEngine(2, 0.5)
 	p.SetCrossHandler(func(dst int, m CrossMsg) {
@@ -196,8 +199,17 @@ func TestParallelLookaheadViolationPanics(t *testing.T) {
 		p.SendCross(0, 1, CrossMsg{DeliverAt: p.Shard(0).Now() + 1e-9})
 	})
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("lookahead violation did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want the diagnostic string", r)
+		}
+		if !strings.Contains(msg, "lookahead violated") ||
+			!strings.Contains(msg, "cross message into shard 1") {
+			t.Fatalf("panic message %q lacks the shard/lookahead diagnostic", msg)
 		}
 	}()
 	p.Run(1, 1)

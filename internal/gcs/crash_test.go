@@ -1,0 +1,108 @@
+package gcs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCrashStopsParticipation pins the crash semantics: a crashed node
+// stops beaconing (its peer hears nothing new) and ignores everything
+// it hears (its own counters freeze), while staying crash-safe against
+// same-tick events already in flight.
+func TestCrashStopsParticipation(t *testing.T) {
+	p := Params{Rho: 0.05, MaxDelay: 0.01, BeaconEvery: 0.1}
+	en, nodes := pair(t, p, 1.05, 0.95, 0.01)
+	nodes[0].Start(0)
+	nodes[1].Start(0.05)
+	en.Run(2)
+
+	en.Schedule(2.5, "test.crash", func() { nodes[0].Crash() })
+	en.Run(3)
+	if !nodes[0].Down() || nodes[1].Down() {
+		t.Fatalf("down flags wrong: %v %v", nodes[0].Down(), nodes[1].Down())
+	}
+	msgs0 := nodes[0].Snap().Messages
+	msgs1 := nodes[1].Snap().Messages
+	beacons0 := nodes[0].Snap().Beacons
+
+	en.Run(6)
+	if got := nodes[1].Snap().Messages; got != msgs1 {
+		t.Fatalf("peer heard %d new messages from a crashed node", got-msgs1)
+	}
+	if got := nodes[0].Snap().Messages; got != msgs0 {
+		t.Fatalf("crashed node ingested %d messages", got-msgs0)
+	}
+	if got := nodes[0].Snap().Beacons; got != beacons0 {
+		t.Fatalf("crashed node emitted %d beacons", got-beacons0)
+	}
+	// Crash is idempotent.
+	nodes[0].Crash()
+	if !nodes[0].Down() {
+		t.Fatal("second Crash flipped the node back up")
+	}
+}
+
+// TestRecoverRejoinsAndPreservesCounters pins the recovery semantics:
+// volatile sync state is lost, the node rejoins with an immediate
+// discovery beacon and re-converges to its peer, and the cumulative
+// counters survive (a crash is a fault, not a statistics reset).
+func TestRecoverRejoinsAndPreservesCounters(t *testing.T) {
+	p := Params{Rho: 0.05, MaxDelay: 0.01, BeaconEvery: 0.1, JumpThreshold: 0}
+	en, nodes := pair(t, p, 1.05, 0.95, 0.01)
+	nodes[0].Start(0)
+	nodes[1].Start(0.05)
+	en.Schedule(2, "test.crash", func() { nodes[1].Crash() })
+	en.Run(5)
+	preBeacons := nodes[1].Snap().Beacons
+	preMsgs := nodes[1].Snap().Messages
+	if preBeacons == 0 || preMsgs == 0 {
+		t.Fatalf("degenerate pre-crash run: %+v", nodes[1].Snap())
+	}
+
+	en.Schedule(5.5, "test.recover", func() { nodes[1].Recover() })
+	en.Run(12)
+	if nodes[1].Down() {
+		t.Fatal("node still down after Recover")
+	}
+	s := nodes[1].Snap()
+	if s.Beacons <= preBeacons {
+		t.Fatal("recovered node never beaconed again")
+	}
+	if s.Messages <= preMsgs {
+		t.Fatal("recovered node never ingested traffic again")
+	}
+	// The recovered slow node must have caught back up to the fast one.
+	skew := math.Abs(nodes[0].Logical() - nodes[1].Logical())
+	bound := (1 + p.Rho) * (p.BeaconEvery/(1-p.Rho) + p.MaxDelay)
+	if skew > bound {
+		t.Fatalf("post-recovery skew %v exceeds steady-state bound %v", skew, bound)
+	}
+	// Recover is idempotent on a live node.
+	before := nodes[1].Snap()
+	nodes[1].Recover()
+	if got := nodes[1].Snap(); got != before {
+		t.Fatalf("Recover on a live node perturbed it: %+v vs %+v", got, before)
+	}
+}
+
+// TestRecoverRestartsLogicalFromHardware pins the volatile-state loss:
+// after recovery the logical clock restarts from the hardware reading,
+// below the peer's logical time it had tracked before the crash.
+func TestRecoverRestartsLogicalFromHardware(t *testing.T) {
+	p := Params{Rho: 0.05, MaxDelay: 0.01, BeaconEvery: 0.1, JumpThreshold: 0}
+	en, nodes := pair(t, p, 1.0, 1.0, 0.01)
+	nodes[0].Start(0)
+	nodes[1].Start(0)
+	// Lift node 1 far ahead via an injected estimate, dragging node 0 up
+	// with it through the max rule.
+	en.Schedule(1, "test.inject", func() { nodes[1].OnMessage(9, 100) })
+	en.Run(2)
+	if nodes[0].Logical() < 50 {
+		t.Fatalf("max rule never propagated the injected estimate: %v", nodes[0].Logical())
+	}
+	nodes[1].Crash()
+	nodes[1].Recover()
+	if l, h := nodes[1].Logical(), nodes[1].HW().Now(); math.Abs(l-h) > 1e-9 {
+		t.Fatalf("recovered logical %v != hardware %v (volatile state survived)", l, h)
+	}
+}

@@ -28,6 +28,7 @@
 package gcs
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -123,18 +124,31 @@ func (p Params) EffectiveMu() float64 {
 // skips the neighbor scan entirely (the jump-only algorithm).
 func (p Params) FastRateEnabled() bool { return p.EffectiveMu() > 0 }
 
-func (p Params) validate() {
+// Validate reports whether the (defaulted) parameters are usable, as an
+// error: the harness's Config.Validate path surfaces it to callers
+// instead of panicking mid-run.
+func (p Params) Validate() error {
 	if p.Rho < 0 || p.Rho >= 1 {
-		panic(fmt.Sprintf("gcs: rho %v outside [0, 1)", p.Rho))
+		return fmt.Errorf("gcs: rho %v outside [0, 1)", p.Rho)
 	}
 	if p.BeaconEvery <= 0 {
-		panic("gcs: BeaconEvery must be positive")
+		return errors.New("gcs: BeaconEvery must be positive")
 	}
 	if p.Kappa <= 0 {
-		panic("gcs: Kappa must be positive (a zero threshold would Zeno the catch-up loop)")
+		return errors.New("gcs: Kappa must be positive (a zero threshold would Zeno the catch-up loop)")
 	}
 	if math.IsNaN(p.Mu) || p.JumpThreshold < 0 {
-		panic("gcs: NaN Mu or negative JumpThreshold")
+		return errors.New("gcs: NaN Mu or negative JumpThreshold")
+	}
+	return nil
+}
+
+// validate keeps the panic contract of New/Reset — a node constructed
+// with invalid parameters is a programmer error, and pre-validated
+// harness paths must not pay an error-branch per node.
+func (p Params) validate() {
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
 	}
 }
 
@@ -188,6 +202,12 @@ type Node struct {
 	// per-source norms only ever increase, so it never needs a rescan.
 	maxNorm float64
 	catchup clock.TimerRef
+	// beacon is the pending periodic-beacon timer, tracked so a crash
+	// can silence the loop and a recovery can restart it.
+	beacon clock.TimerRef
+	// down marks a crashed node (fault injection): it neither beacons
+	// nor reacts to incoming traffic until Recover.
+	down bool
 	// recomputeFn and beaconFn are the long-lived func values backing
 	// catch-up timers and the periodic beacon loop, so rearming either
 	// does not allocate a closure.
@@ -226,7 +246,7 @@ func New(id int, hw *clock.HardwareClock, p Params,
 	nd.recomputeFn = nd.recompute
 	nd.beaconFn = func() {
 		nd.emit()
-		nd.hw.SetTimer(nd.p.BeaconEvery, "gcs.beacon", nd.beaconFn)
+		nd.beacon = nd.hw.SetTimer(nd.p.BeaconEvery, "gcs.beacon", nd.beaconFn)
 	}
 	return nd
 }
@@ -245,6 +265,8 @@ func (nd *Node) Reset(p Params) {
 	clear(nd.est)
 	nd.maxNorm = math.Inf(-1)
 	nd.catchup = clock.TimerRef{}
+	nd.beacon = clock.TimerRef{}
+	nd.down = false
 	nd.msgs, nd.jumps, nd.beacons, nd.discoveries = 0, 0, 0, 0
 	nd.fast = false
 }
@@ -264,6 +286,9 @@ func (nd *Node) SetUnicast(send func(to int, value float64) bool) {
 // topology-created local skew starts being corrected at the fast rate
 // (or by a jump) right away.
 func (nd *Node) OnEdgeAdded(peer int) {
+	if nd.down {
+		return
+	}
 	nd.recompute()
 	nd.discoveries++
 	if nd.unicast != nil {
@@ -284,8 +309,47 @@ func (nd *Node) Start(phase float64) {
 	if phase < 0 {
 		panic("gcs: negative beacon phase")
 	}
-	nd.hw.SetTimer(phase, "gcs.beacon", nd.beaconFn)
+	nd.beacon = nd.hw.SetTimer(phase, "gcs.beacon", nd.beaconFn)
 }
+
+// Crash takes the node offline — the fault subsystem's crash-stop /
+// crash-recover schedules call it from injected events. The pending
+// beacon and catch-up timers are cancelled and incoming traffic is
+// ignored until Recover; counters are preserved (a crash is a fault,
+// not a reset), so report totals stay exact across crashes.
+func (nd *Node) Crash() {
+	if nd.down {
+		return
+	}
+	nd.down = true
+	nd.hw.CancelTimer(nd.beacon)
+	nd.beacon = clock.TimerRef{}
+	nd.hw.CancelTimer(nd.catchup)
+	nd.catchup = clock.TimerRef{}
+	nd.fast = false
+}
+
+// Recover brings a crashed node back. Volatile algorithm state —
+// estimates, regime, the logical clock's accumulated lead — is lost,
+// exactly as in Reset: the logical clock restarts at the current
+// hardware reading. The node rejoins through the existing discovery
+// mechanism by beaconing immediately, the same exchange a fresh edge
+// triggers, so its neighbors re-learn it within one message delay.
+func (nd *Node) Recover() {
+	if !nd.down {
+		return
+	}
+	nd.down = false
+	h := nd.hw.Now()
+	nd.baseH, nd.baseL, nd.mult = h, h, 1
+	clear(nd.est)
+	nd.maxNorm = math.Inf(-1)
+	nd.fast = false
+	nd.beacon = nd.hw.SetTimer(0, "gcs.beacon", nd.beaconFn)
+}
+
+// Down reports whether the node is currently crashed.
+func (nd *Node) Down() bool { return nd.down }
 
 // Logical returns L_u at the engine's current time.
 func (nd *Node) Logical() float64 {
@@ -310,6 +374,11 @@ func (nd *Node) agedEstimate(e estimate, h float64) float64 {
 // OnMessage ingests a beacon carrying the sender's logical value and
 // re-evaluates the jump and fast-mode rules.
 func (nd *Node) OnMessage(from int, value float64) {
+	if nd.down {
+		// A crashed process receives nothing: the transport delivered to a
+		// dead node, and the value is lost with the rest of its state.
+		return
+	}
 	h := nd.hw.Now()
 	nd.msgs++
 	norm := value - nd.ageFactor()*h
@@ -330,7 +399,7 @@ func (nd *Node) OnMessage(from int, value float64) {
 // reaches the same estimate and regime; only the jump counter can differ
 // (a staged arrival may jump more than once where the fold jumps once).
 func (nd *Node) OnValues(from int, values []float64) {
-	if len(values) == 0 {
+	if nd.down || len(values) == 0 {
 		return
 	}
 	h := nd.hw.Now()
@@ -353,6 +422,11 @@ func (nd *Node) OnValues(from int, values []float64) {
 
 // emit broadcasts the node's logical value after refreshing its regime.
 func (nd *Node) emit() {
+	if nd.down {
+		// Crash cancels the beacon timer, so this only guards a beacon
+		// event already in the same engine tick as the crash.
+		return
+	}
 	nd.recompute()
 	nd.beacons++
 	nd.broadcast(nd.Logical())

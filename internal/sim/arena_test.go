@@ -42,7 +42,7 @@ func TestArenaReuseMatchesFreshRun(t *testing.T) {
 	for pass := 0; pass < 2; pass++ {
 		for i, cfg := range cfgs {
 			got := a.Run(cfg)
-			want := Run(cfg)
+			want := mustRun(t, cfg)
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("pass %d config %d: arena run diverged from fresh run:\n  arena = %+v\n  fresh = %+v",
 					pass, i, got, want)
@@ -78,7 +78,7 @@ func TestArenaGrowAndShrink(t *testing.T) {
 			Driver:   DriverSpec{Kind: DriveRandomWalk, Interval: 0.5},
 		}
 		got := a.Run(cfg)
-		want := Run(cfg)
+		want := mustRun(t, cfg)
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("n=%d: arena run diverged from fresh run:\n  arena = %+v\n  fresh = %+v", n, got, want)
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"os"
 	"testing"
 )
@@ -70,6 +71,35 @@ func BenchmarkRing1024(b *testing.B) {
 // grids: steady-state cost must stay linear in n.
 func BenchmarkRing4096(b *testing.B) {
 	benchScenario(b, ringConfig(4096))
+}
+
+// BenchmarkRing1024Faults is BenchmarkRing1024 under a combined fault
+// plan (drops, dups, delay spikes, crash-recover, rate excursions).
+// Compare against BenchmarkRing1024 for the injection overhead; the
+// unfaulted benchmarks double as the zero-valued-FaultSpec cost pin,
+// since their configs never arm the fault subsystem. A faulted run may
+// legitimately breach the analytic bound, so the check is the fault
+// gate — faults injected, re-convergence reached — not the bound.
+func BenchmarkRing1024Faults(b *testing.B) {
+	cfg := ringConfig(1024)
+	cfg.Faults = FaultSpec{
+		Drop: 0.05, Dup: 0.02, DelaySpike: 0.05,
+		CrashEvery: 20, RateExcursionEvery: 20,
+	}
+	b.ReportAllocs()
+	a := NewArena()
+	check := func(rpt SkewReport) {
+		if rpt.Faults.Total() == 0 {
+			b.Fatal("fault plan injected nothing")
+		}
+		if math.IsInf(rpt.ReconvergenceTime, 1) {
+			b.Fatalf("no finite re-convergence: %v", rpt.ReconvergenceTime)
+		}
+	}
+	check(a.Run(cfg))
+	for b.Loop() {
+		check(a.Run(cfg))
+	}
 }
 
 // BenchmarkRing10k is the 10k-node smoke scenario: the scale target the

@@ -35,10 +35,10 @@ func TestCoalescingEquivalence(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			coalesced := Run(tc.cfg)
+			coalesced := mustRun(t, tc.cfg)
 			plain := tc.cfg
 			plain.NoCoalesce = true
-			uncoalesced := Run(plain)
+			uncoalesced := mustRun(t, plain)
 			if !reflect.DeepEqual(coalesced, uncoalesced) {
 				t.Fatalf("coalesced run diverged from uncoalesced:\n  coalesced   = %+v\n  uncoalesced = %+v",
 					coalesced, uncoalesced)

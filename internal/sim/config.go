@@ -10,8 +10,13 @@ import (
 	"math"
 
 	"gcs/internal/dyngraph"
+	"gcs/internal/fault"
 	"gcs/internal/gcs"
 )
+
+// FaultSpec is the declarative fault plan carried by Config.Faults; see
+// package fault for the injection model and determinism contract.
+type FaultSpec = fault.Spec
 
 // TopologyKind selects the initial (backbone) edge set.
 type TopologyKind int
@@ -259,6 +264,16 @@ type Config struct {
 	// draws the bit-identical delay sequence).
 	MinDelay float64
 
+	// Faults is the declarative fault-injection plan: probabilistic
+	// message loss/duplication, delay spikes beyond MaxDelay, node
+	// crash-stop/crash-recover schedules, and hardware-rate excursions
+	// outside [1-rho, 1+rho]. Faults are physics, like Shards and
+	// MinDelay: every draw comes from per-node streams, so faulted
+	// reports are bit-identical across reruns and worker counts, and the
+	// zero value leaves the execution untouched draw for draw. Plans
+	// with message faults force NoCoalesce (a verdict is per send).
+	Faults FaultSpec
+
 	// NoCoalesce disables transport beacon coalescing (on by default):
 	// with coalescing, values sent over the same directed edge within one
 	// engine event share a single pooled multi-value delivery, capping
@@ -270,11 +285,10 @@ type Config struct {
 	NoCoalesce bool
 }
 
-// WithDefaults returns the config with unset fields filled in.
+// WithDefaults returns the config with unset fields filled in. It is
+// total — malformed configurations are reported by Validate (the
+// harness-boundary error path), not by panics here.
 func (c Config) WithDefaults() Config {
-	if c.N <= 0 {
-		panic("sim: Config.N must be positive")
-	}
 	if c.Horizon == 0 {
 		c.Horizon = 10
 	}
@@ -301,16 +315,101 @@ func (c Config) WithDefaults() Config {
 			c.MinDelay = c.MaxDelay / 4
 		}
 	}
-	if c.Shards < 0 || (c.Parallel && c.Shards < 1) {
-		panic("sim: Config.Shards must be positive")
-	}
-	if c.MinDelay < 0 || c.MinDelay >= c.MaxDelay {
-		panic("sim: Config.MinDelay must lie in [0, MaxDelay)")
-	}
 	c.Node.Rho = c.Rho
 	c.Node.MaxDelay = c.MaxDelay
 	c.Node = c.Node.WithDefaults()
+	c.Faults = c.Faults.WithDefaults(c.Horizon)
+	if c.Faults.MessageFaults() {
+		// A fault verdict is drawn per send; coalescing would fold many
+		// values under one verdict. Only message-faulted plans pay this —
+		// crash/rate-only plans (and the zero Spec) keep coalescing, so
+		// they stay bit-identical to their unfaulted execution elsewhere.
+		c.NoCoalesce = true
+	}
 	return c
+}
+
+// Validate checks the configuration at the harness boundary, returning
+// a descriptive error instead of panicking, so a long-running service
+// can reject a bad job and keep sweeping. Run and RunSweep call it
+// before wiring; New/NewParallel still panic on invalid configs (a
+// pre-validated programmer-error path, like the remaining internal
+// invariants: DES time regression, lookahead breach).
+func (c Config) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("sim: Config.N must be positive (got %d)", c.N)
+	}
+	if c.Horizon < 0 || math.IsNaN(c.Horizon) || math.IsInf(c.Horizon, 0) {
+		return fmt.Errorf("sim: Config.Horizon %v must be finite and nonnegative", c.Horizon)
+	}
+	if c.Rho < 0 || c.Rho >= 1 || math.IsNaN(c.Rho) {
+		return fmt.Errorf("sim: Config.Rho %v outside [0, 1)", c.Rho)
+	}
+	if c.MaxDelay < 0 || math.IsNaN(c.MaxDelay) {
+		return fmt.Errorf("sim: Config.MaxDelay %v must be nonnegative", c.MaxDelay)
+	}
+	if c.SampleEvery < 0 {
+		return fmt.Errorf("sim: Config.SampleEvery %v must be nonnegative", c.SampleEvery)
+	}
+	d := c.WithDefaults()
+	// The rotating star ignores the backbone topology entirely, so a
+	// backbone spec under it is never materialized and its size floors
+	// don't apply.
+	backbone := d.Churn.Kind != ChurnRotatingStar
+	switch c.Topology.Kind {
+	case TopoLine, TopoStar, TopoComplete:
+	case TopoRing:
+		if backbone && c.N < 3 {
+			return fmt.Errorf("sim: ring topology needs n >= 3 (got %d)", c.N)
+		}
+	case TopoTwoChains:
+		if backbone && c.N < 4 {
+			return fmt.Errorf("sim: two-chains topology needs n >= 4 (got %d)", c.N)
+		}
+	case TopoGrid:
+		if backbone && c.Topology.W*c.Topology.H != c.N {
+			return fmt.Errorf("sim: grid %dx%d does not cover %d nodes", c.Topology.W, c.Topology.H, c.N)
+		}
+	default:
+		return fmt.Errorf("sim: unknown topology kind %d", int(c.Topology.Kind))
+	}
+	switch d.Driver.Kind {
+	case DriveConstant:
+	case DriveRandomWalk, DriveBangBang:
+		if d.Driver.Interval <= 0 {
+			return fmt.Errorf("sim: %v driver interval %v must be positive", d.Driver.Kind, d.Driver.Interval)
+		}
+	default:
+		return fmt.Errorf("sim: unknown driver kind %d", int(d.Driver.Kind))
+	}
+	switch d.Churn.Kind {
+	case ChurnNone:
+	case ChurnVolatile:
+		if d.Churn.Lifetime <= 0 || d.Churn.Absence <= 0 {
+			return fmt.Errorf("sim: volatile churn durations (Lifetime %v, Absence %v) must be positive",
+				d.Churn.Lifetime, d.Churn.Absence)
+		}
+		if d.Churn.ExtraEdges < 0 {
+			return fmt.Errorf("sim: volatile churn ExtraEdges %d must be nonnegative", d.Churn.ExtraEdges)
+		}
+	case ChurnRotatingStar:
+		if !(d.Churn.Overlap > 0 && d.Churn.Overlap < d.Churn.Period) {
+			return fmt.Errorf("sim: rotating star needs 0 < Overlap < Period (got Overlap %v, Period %v)",
+				d.Churn.Overlap, d.Churn.Period)
+		}
+	default:
+		return fmt.Errorf("sim: unknown churn kind %d", int(d.Churn.Kind))
+	}
+	if c.Shards < 0 || (c.Parallel && d.Shards < 1) {
+		return fmt.Errorf("sim: Config.Shards must be positive (got %d)", c.Shards)
+	}
+	if d.MinDelay < 0 || d.MinDelay >= d.MaxDelay {
+		return fmt.Errorf("sim: Config.MinDelay %v must lie in [0, MaxDelay %v)", d.MinDelay, d.MaxDelay)
+	}
+	if err := d.Node.Validate(); err != nil {
+		return err
+	}
+	return d.Faults.Validate(d.Horizon)
 }
 
 // GlobalSkewBound returns the analytic worst-case global skew for the

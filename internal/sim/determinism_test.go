@@ -27,8 +27,8 @@ func churnyConfig(seed uint64) Config {
 }
 
 func TestSameSeedSameExecution(t *testing.T) {
-	a := Run(churnyConfig(42))
-	b := Run(churnyConfig(42))
+	a := mustRun(t, churnyConfig(42))
+	b := mustRun(t, churnyConfig(42))
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same config diverged:\n  a = %+v\n  b = %+v", a, b)
 	}
@@ -41,8 +41,8 @@ func TestSameSeedSameExecution(t *testing.T) {
 }
 
 func TestDifferentSeedDifferentExecution(t *testing.T) {
-	a := Run(churnyConfig(1))
-	b := Run(churnyConfig(2))
+	a := mustRun(t, churnyConfig(1))
+	b := mustRun(t, churnyConfig(2))
 	// Seeds drive delays, churn, drift, and beacon phases; two executions
 	// agreeing on every counter would mean the seed is ignored.
 	if reflect.DeepEqual(a, b) {

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// faultedChurnConfig layers every fault kind on top of the maximally
+// stochastic serial scenario.
+func faultedChurnConfig(seed uint64) Config {
+	cfg := churnyConfig(seed)
+	cfg.Faults = FaultSpec{
+		Drop: 0.1, Dup: 0.05, DelaySpike: 0.1,
+		CrashEvery: 5, CrashDowntime: 0.5,
+		RateExcursionEvery: 5,
+	}
+	return cfg
+}
+
+// faultedParallelConfig is the parallel counterpart.
+func faultedParallelConfig(n, shards int) Config {
+	cfg := parallelChurnConfig(n, shards)
+	cfg.Faults = FaultSpec{
+		Drop: 0.1, Dup: 0.05, DelaySpike: 0.1,
+		CrashEvery: 2, CrashDowntime: 0.3,
+		RateExcursionEvery: 2,
+	}
+	return cfg
+}
+
+// TestRunReturnsErrorsNotPanics is the harness-boundary contract: every
+// malformed config comes back from sim.Run as a descriptive error, and
+// never as a panic.
+func TestRunReturnsErrorsNotPanics(t *testing.T) {
+	valid := churnyConfig(1)
+	for name, mut := range map[string]func(*Config){
+		"zeroN":           func(c *Config) { c.N = 0 },
+		"negativeN":       func(c *Config) { c.N = -3 },
+		"nanHorizon":      func(c *Config) { c.Horizon = math.NaN() },
+		"rhoTooBig":       func(c *Config) { c.Rho = 1 },
+		"rhoNaN":          func(c *Config) { c.Rho = math.NaN() },
+		"negativeDelay":   func(c *Config) { c.MaxDelay = -0.1 },
+		"gridMismatch":    func(c *Config) { c.Topology = TopologySpec{Kind: TopoGrid, W: 5, H: 5} },
+		"ringTooSmall":    func(c *Config) { c.N = 2; c.Topology.Kind = TopoRing; c.Churn = ChurnSpec{} },
+		"chainsTooSmall":  func(c *Config) { c.N = 3; c.Topology.Kind = TopoTwoChains; c.Churn = ChurnSpec{} },
+		"unknownTopo":     func(c *Config) { c.Topology.Kind = TopologyKind(99) },
+		"unknownDriver":   func(c *Config) { c.Driver.Kind = DriverKind(99) },
+		"driverInterval":  func(c *Config) { c.Driver = DriverSpec{Kind: DriveRandomWalk, Interval: -1} },
+		"unknownChurn":    func(c *Config) { c.Churn.Kind = ChurnKind(99) },
+		"churnLifetime":   func(c *Config) { c.Churn = ChurnSpec{Kind: ChurnVolatile, Lifetime: -1, Absence: 1} },
+		"negativeShards":  func(c *Config) { c.Shards = -2 },
+		"minDelayTooBig":  func(c *Config) { c.Parallel = true; c.MinDelay = c.MaxDelay * 2 },
+		"beaconNegative":  func(c *Config) { c.Node.BeaconEvery = -1 },
+		"faultDropRange":  func(c *Config) { c.Faults.Drop = 1.5 },
+		"faultUntilRange": func(c *Config) { c.Faults = FaultSpec{Drop: 0.1, Until: c.Horizon * 2} },
+	} {
+		cfg := valid
+		mut(&cfg)
+		rpt, err := Run(cfg) // must not panic
+		if err == nil {
+			t.Errorf("%s: Run accepted a malformed config", name)
+		}
+		if !reflect.DeepEqual(rpt, SkewReport{}) {
+			t.Errorf("%s: non-zero report alongside error", name)
+		}
+	}
+}
+
+// TestRunSweepRejectsMalformedCell: one bad cell rejects the whole
+// sweep up front, identifying the cell, with no panic.
+func TestRunSweepRejectsMalformedCell(t *testing.T) {
+	bad := churnyConfig(2)
+	bad.Rho = 2
+	cells := []SweepCell{
+		{Name: "good", Cfg: churnyConfig(1)},
+		{Name: "bad", Cfg: bad},
+	}
+	out, err := RunSweep(cells, 2)
+	if err == nil {
+		t.Fatal("RunSweep accepted a sweep with a malformed cell")
+	}
+	if out != nil {
+		t.Fatalf("partial results alongside error: %v", out)
+	}
+}
+
+// TestFaultedRunDeterministic: a fully faulted serial run is
+// bit-identical across reruns, actually injects every fault kind, and
+// re-converges.
+func TestFaultedRunDeterministic(t *testing.T) {
+	a := mustRun(t, faultedChurnConfig(42))
+	b := mustRun(t, faultedChurnConfig(42))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same faulted config diverged:\n  a = %+v\n  b = %+v", a, b)
+	}
+	fs := a.Faults
+	if fs.Drops == 0 || fs.Dups == 0 || fs.DelaySpikes == 0 ||
+		fs.Crashes == 0 || fs.Recoveries == 0 || fs.RateExcursions == 0 {
+		t.Fatalf("some fault kind never fired: %+v", fs)
+	}
+	if math.IsInf(a.ReconvergenceTime, 1) {
+		t.Fatal("faulted run never re-converged")
+	}
+	if c := mustRun(t, faultedChurnConfig(43)); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical faulted reports")
+	}
+	// The plan steers the execution: the same seed without faults must
+	// differ, and must report zero fault stats.
+	plain := mustRun(t, churnyConfig(42))
+	if plain.Faults.Total() != 0 || plain.ReconvergenceTime != 0 {
+		t.Fatalf("unfaulted run reported faults: %+v", plain.Faults)
+	}
+	if plain.Transport.Sent == a.Transport.Sent && plain.MaxGlobalSkew == a.MaxGlobalSkew {
+		t.Fatal("fault plan left no trace on the execution")
+	}
+}
+
+// TestFaultSpecUntilOnlyIsInert pins the faults-are-physics wiring: a
+// Spec that arms the subsystem but injects nothing (only Until set)
+// must reproduce the unfaulted run bit for bit — forking the fault
+// streams never perturbs any other stream.
+func TestFaultSpecUntilOnlyIsInert(t *testing.T) {
+	want := mustRun(t, churnyConfig(7))
+	armed := churnyConfig(7)
+	armed.Faults = FaultSpec{Until: 1}
+	if got := mustRun(t, armed); !reflect.DeepEqual(got, want) {
+		t.Fatalf("armed-but-empty plan perturbed the run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFaultedParallelWorkerInvariance extends the parallel determinism
+// contract to faulted runs: drops, crashes, and excursions land
+// identically for every worker count.
+func TestFaultedParallelWorkerInvariance(t *testing.T) {
+	base := faultedParallelConfig(64, 4)
+	ref := base
+	ref.Workers = 1
+	want := mustRun(t, ref)
+	if want.Faults.Total() == 0 || want.Faults.Crashes == 0 {
+		t.Fatalf("degenerate faulted reference: %+v", want.Faults)
+	}
+	if math.IsInf(want.ReconvergenceTime, 1) {
+		t.Fatal("faulted parallel run never re-converged")
+	}
+	for _, workers := range []int{2, 4} {
+		cfg := base
+		cfg.Workers = workers
+		if got := mustRun(t, cfg); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverged from serial reference:\n got %+v\nwant %+v",
+				workers, got, want)
+		}
+	}
+}
+
+// TestFaultedArenaReuse: arena-reused faulted runs — including across
+// an intervening unfaulted run, which must leave the grown fault pools
+// disarmed — reproduce fresh runs bit for bit.
+func TestFaultedArenaReuse(t *testing.T) {
+	faulted := faultedChurnConfig(11)
+	plain := churnyConfig(11)
+	wantF := mustRun(t, faulted)
+	wantP := mustRun(t, plain)
+	a := NewArena()
+	for i := 0; i < 2; i++ {
+		if got := a.Run(faulted); !reflect.DeepEqual(got, wantF) {
+			t.Fatalf("arena faulted run %d diverged from fresh run", i)
+		}
+		if got := a.Run(plain); !reflect.DeepEqual(got, wantP) {
+			t.Fatalf("arena unfaulted run %d diverged (fault pools leaked)", i)
+		}
+	}
+}
+
+// TestReconvergenceAfterCrashRecovery forces a real bound violation: a
+// tiny line with huge drift and a long crash produces a recovered node
+// whose hardware clock lags the network far beyond the bound, and the
+// jump rule pulls it back — ReconvergenceTime must be finite and
+// strictly positive.
+func TestReconvergenceAfterCrashRecovery(t *testing.T) {
+	cfg := Config{
+		N:           3,
+		Seed:        5,
+		Horizon:     12,
+		Rho:         0.3,
+		MaxDelay:    0.02,
+		SampleEvery: 0.01,
+		Topology:    TopologySpec{Kind: TopoLine},
+		Driver:      DriverSpec{Kind: DriveRandomWalk, Interval: 0.5},
+		Faults: FaultSpec{
+			CrashEvery:    2,
+			CrashDowntime: 4,
+			Until:         3,
+		},
+	}
+	rpt := mustRun(t, cfg)
+	if rpt.Faults.Crashes == 0 || rpt.Faults.Recoveries == 0 {
+		t.Fatalf("crash schedule never fired: %+v", rpt.Faults)
+	}
+	if rpt.MaxGlobalSkew <= rpt.Bound {
+		t.Fatalf("no transient violation: max skew %v within bound %v (re-tune the scenario)",
+			rpt.MaxGlobalSkew, rpt.Bound)
+	}
+	if math.IsInf(rpt.ReconvergenceTime, 1) {
+		t.Fatal("never re-converged after the last fault")
+	}
+	if rpt.ReconvergenceTime <= 0 {
+		t.Fatalf("reconvergence time %v, want strictly positive (violation was observed)",
+			rpt.ReconvergenceTime)
+	}
+}
+
+// TestParallelStickyStopWithPendingFaults: stopping a faulted parallel
+// run mid-flight leaves crash/recovery events pending; resuming Run
+// consumes the sticky stop and finishes the run with fault accounting
+// intact. The resumed run executes one extra observe and the stop event
+// itself, so the comparison pins the deterministic subset.
+func TestParallelStickyStopWithPendingFaults(t *testing.T) {
+	cfg := faultedParallelConfig(64, 4)
+	cfg.Workers = 2
+	ref := mustRun(t, cfg)
+
+	ps := NewParallel(cfg)
+	ps.P.Global().Schedule(2.05, "test.stop", func() { ps.P.Stop() })
+	interrupted := ps.Run()
+	if got := ps.P.Global().Now(); got >= cfg.Horizon {
+		t.Fatalf("stop ignored: global clock at %v", got)
+	}
+	if interrupted.Samples >= ref.Samples {
+		t.Fatalf("interrupted run sampled %d >= full run's %d", interrupted.Samples, ref.Samples)
+	}
+	if _, ok := ps.P.Global().NextEventTime(); !ok {
+		t.Fatal("no pending global events at the stop point — fault schedule drained early")
+	}
+
+	resumed := ps.Run()
+	if resumed.Faults != ref.Faults {
+		t.Fatalf("resumed fault stats diverged:\n got %+v\nwant %+v", resumed.Faults, ref.Faults)
+	}
+	if resumed.Transport != ref.Transport {
+		t.Fatalf("resumed transport stats diverged:\n got %+v\nwant %+v", resumed.Transport, ref.Transport)
+	}
+	if resumed.TotalBeacons != ref.TotalBeacons ||
+		resumed.FinalGlobalSkew != ref.FinalGlobalSkew ||
+		resumed.MaxGlobalSkew != ref.MaxGlobalSkew {
+		t.Fatalf("resumed physics diverged from uninterrupted run:\n got %+v\nwant %+v", resumed, ref)
+	}
+	if resumed.Samples != ref.Samples+1 {
+		t.Fatalf("resumed samples = %d, want %d (one duplicate at the stop cut)",
+			resumed.Samples, ref.Samples+1)
+	}
+}

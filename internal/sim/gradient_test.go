@@ -146,7 +146,7 @@ func TestGradientCheckSteadyStateDoesNotAllocate(t *testing.T) {
 // must report each jump/message/beacon exactly once.
 func TestRunIsIdempotent(t *testing.T) {
 	cfg := churnyConfig(42)
-	oneShot := Run(cfg)
+	oneShot := mustRun(t, cfg)
 
 	s := New(cfg)
 	s.Advance(cfg.Horizon / 3)

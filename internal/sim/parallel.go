@@ -7,6 +7,7 @@ import (
 	"gcs/internal/clock"
 	"gcs/internal/des"
 	"gcs/internal/dyngraph"
+	"gcs/internal/fault"
 	"gcs/internal/gcs"
 	"gcs/internal/transport"
 )
@@ -78,6 +79,21 @@ type ParallelSim struct {
 	report      SkewReport
 	lastSampleT float64
 	started     bool
+
+	// Fault-injection state, mirroring the serial harness. msgFaults is
+	// non-nil only while the active plan has message faults (msgFaultsPool
+	// keeps the grown stream table across rewires); message verdicts are
+	// drawn per sender inside shard events, crash/recover and rate
+	// excursions run on the global engine with every shard barriered.
+	faultOn       bool
+	msgFaults     *fault.Messages
+	msgFaultsPool *fault.Messages
+	injector      *fault.Injector
+	faultHooks    fault.Hooks
+	faultRoot     des.Rand
+	downMask      []bool
+	faultBound    float64
+	goodSince     float64
 }
 
 // pshape is the allocation shape of a wired ParallelSim: changing any
@@ -110,6 +126,10 @@ type pshard struct {
 	deliverFn des.ArgHandler
 	nbuf      []int
 	stats     transport.Stats
+	// fstats accumulates this shard's message-fault verdicts; merging
+	// per-shard stats is order-independent (counter sums, max time), so
+	// the merged report stays worker-invariant.
+	fstats fault.Stats
 }
 
 func (sh *pshard) alloc() uint32 {
@@ -123,16 +143,43 @@ func (sh *pshard) alloc() uint32 {
 }
 
 // send accepts a value from node `from` (owned by this shard) toward
-// `to`, drawing the delay from the sender's stream and routing the
-// delivery to the destination's shard: an engine event here when `to`
-// is local, a cross-shard outbox message otherwise.
+// `to`, applying the fault plan (if any) before the normal path. Fault
+// verdicts come from the sender's private stream in the sender's local
+// send order — the same discipline as delay draws — so faulted runs
+// stay worker-invariant.
 func (sh *pshard) send(from, to int, value float64) {
+	if ps := sh.ps; ps.msgFaults != nil {
+		v := ps.msgFaults.Draw(from, sh.en.Now(), &sh.fstats)
+		if v.Drop {
+			// The sender paid for the message; the fault plan ate it.
+			sh.stats.Sent++
+			return
+		}
+		sh.sendOne(from, to, value, v.Delay)
+		if v.Dup {
+			sh.sendOne(from, to, value, 0)
+		}
+		return
+	}
+	sh.sendOne(from, to, value, 0)
+}
+
+// sendOne draws the delay from the sender's stream and routes the
+// delivery to the destination's shard: an engine event here when `to`
+// is local, a cross-shard outbox message otherwise. spikedDelay, when
+// positive, is a fault-injected delay beyond MaxDelay (it still clears
+// the lookahead floor, so spiked cross-shard deliveries stay safe); 0
+// draws from the nominal law.
+func (sh *pshard) sendOne(from, to int, value float64, spikedDelay float64) {
 	ps := sh.ps
 	now := sh.en.Now()
-	r := &ps.delayRands[from]
-	// Delay in (MinDelay, MaxDelay]: the floor is the engine lookahead,
-	// so every cross-shard delivery lands beyond the current safe window.
-	d := ps.Cfg.MinDelay + (ps.Cfg.MaxDelay-ps.Cfg.MinDelay)*(1-r.Float64())
+	d := spikedDelay
+	if d == 0 {
+		r := &ps.delayRands[from]
+		// Delay in (MinDelay, MaxDelay]: the floor is the engine lookahead,
+		// so every cross-shard delivery lands beyond the current safe window.
+		d = ps.Cfg.MinDelay + (ps.Cfg.MaxDelay-ps.Cfg.MinDelay)*(1-r.Float64())
+	}
 	deliverAt := now + d
 	sh.stats.Sent++
 	dst := int(ps.shardOf[to])
@@ -193,6 +240,7 @@ func (sh *pshard) reset() {
 	sh.flights = sh.flights[:0]
 	sh.free = sh.free[:0]
 	sh.stats = transport.Stats{}
+	sh.fstats = fault.Stats{}
 }
 
 // pdriver is one node's rate driver on its shard engine, mirroring the
@@ -288,6 +336,11 @@ func (ps *ParallelSim) Reset(cfg Config) { ps.wire(cfg) }
 func (ps *ParallelSim) shardFor(i int) *pshard { return ps.shards[ps.shardOf[i]] }
 
 func (ps *ParallelSim) wire(cfg Config) {
+	// Same contract as the serial harness: NewParallel/Reset panic on
+	// programmer error, sim.Run/RunSweep return Validate's error.
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
 	cfg = cfg.WithDefaults()
 	if !cfg.Parallel {
 		panic("sim: NewParallel requires Config.Parallel")
@@ -346,6 +399,8 @@ func (ps *ParallelSim) wire(cfg Config) {
 		ps.Nodes[i].Start(ps.phaseRand.Range(0, cfg.Node.BeaconEvery))
 	}
 
+	ps.wireFaults(cfg)
+
 	ps.gradient = wireGradient(ps.gradient, cfg)
 
 	if cap(ps.vals) < cfg.N {
@@ -356,6 +411,41 @@ func (ps *ParallelSim) wire(cfg Config) {
 	ps.report = SkewReport{}
 	ps.lastSampleT = 0
 	ps.started = false
+}
+
+// wireFaults arms fault injection for one parallel run. Message faults
+// draw inside shard events from per-sender streams; crash/recover and
+// rate excursions are global-engine events, which run with every shard
+// barriered at the event time, so touching a node or clock on another
+// shard's engine is safe and deterministic.
+func (ps *ParallelSim) wireFaults(cfg Config) {
+	ps.faultOn = cfg.Faults.Enabled()
+	ps.msgFaults = nil
+	ps.downMask = nil
+	ps.goodSince = -1
+	if !ps.faultOn {
+		return
+	}
+	ps.root.ForkInto(0xfa07, &ps.faultRoot)
+	if cfg.Faults.MessageFaults() {
+		if ps.msgFaultsPool == nil {
+			ps.msgFaultsPool = fault.NewMessages()
+		}
+		ps.msgFaultsPool.Wire(cfg.Faults, cfg.MaxDelay, cfg.N, &ps.faultRoot)
+		ps.msgFaults = ps.msgFaultsPool
+	}
+	if ps.injector == nil {
+		ps.injector = fault.NewInjector()
+		ps.faultHooks = fault.Hooks{
+			Crash:   func(i int) { ps.Nodes[i].Crash() },
+			Recover: func(i int) { ps.Nodes[i].Recover() },
+			SetRate: func(i int, rate float64) { ps.Clocks[i].SetRate(rate) },
+		}
+	}
+	ps.injector.Wire(cfg.Faults, cfg.N, cfg.Rho, &ps.faultRoot, ps.faultHooks)
+	ps.injector.Install(ps.P.Global())
+	ps.downMask = ps.injector.Down()
+	ps.faultBound = cfg.GlobalSkewBound()
 }
 
 // build constructs the engine set and every per-node object for a new
@@ -444,6 +534,12 @@ func (ps *ParallelSim) churner() dyngraph.Churner {
 func (ps *ParallelSim) observe() {
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for i, nd := range ps.Nodes {
+		if ps.downMask != nil && ps.downMask[i] {
+			// Crashed nodes are NaN-poisoned out of every consumer, exactly
+			// as in the serial harness's observe.
+			ps.vals[i] = math.NaN()
+			continue
+		}
 		l := nd.Logical()
 		ps.vals[i] = l
 		if l < lo {
@@ -453,14 +549,25 @@ func (ps *ParallelSim) observe() {
 			hi = l
 		}
 	}
-	if spread := hi - lo; spread > ps.report.MaxGlobalSkew {
+	spread := hi - lo
+	if hi < lo {
+		spread = 0 // every node down: no live pair to skew
+	}
+	if spread > ps.report.MaxGlobalSkew {
 		ps.report.MaxGlobalSkew = spread
 	}
 	if ps.gradient != nil {
 		ps.gradient.observe(ps.Graph, ps.vals)
 	}
 	ps.Graph.RangeCurrentEdges(ps.edgeFn)
-	ps.report.FinalGlobalSkew = hi - lo
+	ps.report.FinalGlobalSkew = spread
+	if ps.faultOn {
+		if spread > ps.faultBound {
+			ps.goodSince = -1
+		} else if ps.goodSince < 0 {
+			ps.goodSince = ps.P.Global().Now()
+		}
+	}
 	ps.report.Samples++
 	ps.lastSampleT = ps.P.Global().Now()
 }
@@ -519,6 +626,18 @@ func (ps *ParallelSim) Run() SkewReport {
 		ps.report.TotalMessages += snap.Messages
 		ps.report.TotalBeacons += snap.Beacons
 		ps.report.TotalDiscoveries += snap.Discoveries
+	}
+
+	if ps.faultOn {
+		// Per-shard fold in fixed shard order; Merge is order-independent
+		// anyway (sums and maxes), so the result is worker-invariant.
+		var fs fault.Stats
+		for _, sh := range ps.shards {
+			fs.Merge(sh.fstats)
+		}
+		fs.Merge(ps.injector.Stats())
+		ps.report.Faults = fs
+		ps.report.ReconvergenceTime = reconvergenceTime(fs, ps.goodSince)
 	}
 	return ps.report
 }

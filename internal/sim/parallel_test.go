@@ -41,14 +41,14 @@ func TestParallelSimWorkerInvariance(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			ref := base
 			ref.Workers = 1
-			want := Run(ref)
+			want := mustRun(t, ref)
 			if want.Transport.Delivered == 0 || want.Samples < 2 {
 				t.Fatalf("degenerate reference run: %+v", want)
 			}
 			for _, workers := range []int{2, 4} {
 				cfg := base
 				cfg.Workers = workers
-				if got := Run(cfg); !reflect.DeepEqual(got, want) {
+				if got := mustRun(t, cfg); !reflect.DeepEqual(got, want) {
 					t.Fatalf("workers=%d diverged from serial reference:\n got %+v\nwant %+v",
 						workers, got, want)
 				}
@@ -62,13 +62,13 @@ func TestParallelSimWorkerInvariance(t *testing.T) {
 // the execution.
 func TestParallelSimSeedSensitivity(t *testing.T) {
 	cfg := parallelRingConfig(64, 4)
-	first := Run(cfg)
-	if again := Run(cfg); !reflect.DeepEqual(first, again) {
+	first := mustRun(t, cfg)
+	if again := mustRun(t, cfg); !reflect.DeepEqual(first, again) {
 		t.Fatal("same config produced different reports")
 	}
 	other := cfg
 	other.Seed = 99
-	if got := Run(other); got.MaxGlobalSkew == first.MaxGlobalSkew &&
+	if got := mustRun(t, other); got.MaxGlobalSkew == first.MaxGlobalSkew &&
 		got.Transport.Sent == first.Transport.Sent {
 		t.Fatal("different seeds produced an identical execution")
 	}
@@ -81,12 +81,12 @@ func TestParallelSimSeedSensitivity(t *testing.T) {
 func TestParallelSimArenaReuse(t *testing.T) {
 	cfgA := parallelChurnConfig(64, 4)
 	cfgB := parallelRingConfig(96, 6)
-	want := Run(cfgA)
+	want := mustRun(t, cfgA)
 	a := NewArena()
 	if got := a.Run(cfgA); !reflect.DeepEqual(got, want) {
 		t.Fatal("arena first run diverged from fresh run")
 	}
-	if got := a.Run(cfgB); !reflect.DeepEqual(got, Run(cfgB)) {
+	if got := a.Run(cfgB); !reflect.DeepEqual(got, mustRun(t, cfgB)) {
 		t.Fatal("arena shape-change run diverged from fresh run")
 	}
 	if got := a.Run(cfgA); !reflect.DeepEqual(got, want) {
@@ -153,7 +153,7 @@ func TestParallelSimGradientCheck(t *testing.T) {
 	cfg := parallelRingConfig(64, 4)
 	cfg.CheckGradient = true
 	cfg.GradientRadius = 3
-	rpt := Run(cfg)
+	rpt := mustRun(t, cfg)
 	if len(rpt.PerDistanceSkew) == 0 || rpt.DistanceRecomputes == 0 {
 		t.Fatalf("gradient checker recorded nothing: %+v", rpt.PerDistanceSkew)
 	}

@@ -6,6 +6,7 @@ import (
 	"gcs/internal/clock"
 	"gcs/internal/des"
 	"gcs/internal/dyngraph"
+	"gcs/internal/fault"
 	"gcs/internal/gcs"
 	"gcs/internal/transport"
 )
@@ -53,6 +54,17 @@ type SkewReport struct {
 	// BFS sweeps (one per topology-change epoch observed); 0 when the
 	// check is off.
 	DistanceRecomputes int
+
+	// Faults counts the injected disturbances (Config.Faults); zero when
+	// injection is off.
+	Faults fault.Stats
+	// ReconvergenceTime measures graceful degradation under injection:
+	// the time from the last injected disturbance until the global skew
+	// (over live nodes) re-entered the analytic bound. 0 when the skew
+	// never left the bound after the last fault (or no fault fired);
+	// +Inf when it was still outside at the horizon — the chaos CI gate
+	// fails on that.
+	ReconvergenceTime float64
 }
 
 // Simulation is one fully wired scenario, exposed so tests can inspect
@@ -122,6 +134,21 @@ type Simulation struct {
 	gradient *GradientChecker
 	// started records whether the periodic sampler has been installed.
 	started bool
+
+	// Fault-injection state (Config.Faults). msgFaults and injector are
+	// grow-once pools; faultHooks holds the long-lived callbacks into
+	// nodes and clocks. downMask aliases the injector's live mask so
+	// observe can exclude crashed nodes; goodSince tracks when the skew
+	// last re-entered faultBound (-1 while outside), feeding the
+	// ReconvergenceTime metric.
+	faultOn    bool
+	msgFaults  *fault.Messages
+	injector   *fault.Injector
+	faultHooks fault.Hooks
+	faultRoot  des.Rand
+	downMask   []bool
+	faultBound float64
+	goodSince  float64
 }
 
 // edgeKey identifies the inputs the cached initial edge set depends on.
@@ -239,6 +266,11 @@ func New(cfg Config) *Simulation {
 func (s *Simulation) Reset(cfg Config) { s.wire(cfg) }
 
 func (s *Simulation) wire(cfg Config) {
+	// New/Reset keep the panic contract for programmer errors; the
+	// error-returning boundary is sim.Run/RunSweep, which Validate first.
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
 	cfg = cfg.WithDefaults()
 	s.Cfg = cfg
 	s.Engine.Reset()
@@ -319,6 +351,8 @@ func (s *Simulation) wire(cfg Config) {
 		s.Nodes[i].Start(s.phaseRand.Range(0, cfg.Node.BeaconEvery))
 	}
 
+	s.wireFaults(cfg)
+
 	s.gradient = wireGradient(s.gradient, cfg)
 
 	if cap(s.vals) < cfg.N {
@@ -330,6 +364,58 @@ func (s *Simulation) wire(cfg Config) {
 	s.report = SkewReport{}
 	s.lastSampleT = 0
 	s.started = false
+}
+
+// wireFaults arms fault injection for one run. The fault root is forked
+// from the scenario root (never advancing it, so a zero-valued Spec
+// leaves every other stream bit-identical); message faults wire into
+// the transport, crash/recover and rate excursions into the injector's
+// engine events.
+func (s *Simulation) wireFaults(cfg Config) {
+	s.faultOn = cfg.Faults.Enabled()
+	s.downMask = nil
+	s.goodSince = -1
+	if !s.faultOn {
+		return
+	}
+	s.root.ForkInto(0xfa07, &s.faultRoot)
+	if cfg.Faults.MessageFaults() {
+		if s.msgFaults == nil {
+			s.msgFaults = fault.NewMessages()
+		}
+		s.msgFaults.Wire(cfg.Faults, cfg.MaxDelay, cfg.N, &s.faultRoot)
+		s.Net.SetFaults(s.msgFaults)
+	}
+	if s.injector == nil {
+		s.injector = fault.NewInjector()
+		s.faultHooks = fault.Hooks{
+			Crash:   func(i int) { s.Nodes[i].Crash() },
+			Recover: func(i int) { s.Nodes[i].Recover() },
+			SetRate: func(i int, rate float64) { s.Clocks[i].SetRate(rate) },
+		}
+	}
+	s.injector.Wire(cfg.Faults, cfg.N, cfg.Rho, &s.faultRoot, s.faultHooks)
+	s.injector.Install(s.Engine)
+	s.downMask = s.injector.Down()
+	s.faultBound = s.boundFor(cfg)
+}
+
+// reconvergenceTime derives the report metric from the merged fault
+// stats and the time the skew last re-entered the bound: 0 when no
+// fault fired or the skew never left the bound after the last fault,
+// the re-entry delay otherwise, +Inf when still outside at the horizon.
+// Shared by the serial and parallel harnesses.
+func reconvergenceTime(fs fault.Stats, goodSince float64) float64 {
+	if fs.Total() == 0 {
+		return 0
+	}
+	if goodSince < 0 {
+		return math.Inf(1)
+	}
+	if d := goodSince - fs.LastFaultT; d > 0 {
+		return d
+	}
+	return 0
 }
 
 // wireGradient returns the checker for cfg, reusing prev when its shape
@@ -445,6 +531,14 @@ func (s *Simulation) AttachTrace(tr *TraceRecorder) {
 func (s *Simulation) observe() {
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for i, nd := range s.Nodes {
+		if s.downMask != nil && s.downMask[i] {
+			// A crashed node has no logical clock. Poisoning its sample with
+			// NaN makes every consumer skip it for free: NaN fails the lo/hi
+			// comparisons here, the |L_u - L_v| > max test in edgeFn, and the
+			// gradient checker's bucket comparisons.
+			s.vals[i] = math.NaN()
+			continue
+		}
 		l := nd.Logical()
 		s.vals[i] = l
 		if l < lo {
@@ -454,7 +548,11 @@ func (s *Simulation) observe() {
 			hi = l
 		}
 	}
-	if spread := hi - lo; spread > s.report.MaxGlobalSkew {
+	spread := hi - lo
+	if hi < lo {
+		spread = 0 // every node down: no live pair to skew
+	}
+	if spread > s.report.MaxGlobalSkew {
 		s.report.MaxGlobalSkew = spread
 	}
 	if s.trace != nil {
@@ -466,7 +564,14 @@ func (s *Simulation) observe() {
 	// Max over edges is order-independent, so the unordered allocation-free
 	// iteration is deterministic in its result.
 	s.Graph.RangeCurrentEdges(s.edgeFn)
-	s.report.FinalGlobalSkew = hi - lo
+	s.report.FinalGlobalSkew = spread
+	if s.faultOn {
+		if spread > s.faultBound {
+			s.goodSince = -1
+		} else if s.goodSince < 0 {
+			s.goodSince = s.Engine.Now()
+		}
+	}
 	s.report.Samples++
 	s.lastSampleT = s.Engine.Now()
 }
@@ -501,6 +606,7 @@ func (s *Simulation) boundFor(cfg Config) float64 {
 	key.Shards = 0
 	key.Workers = 0
 	key.MinDelay = 0
+	key.Faults = FaultSpec{}
 	if !s.boundOK || key != s.boundCfg {
 		s.bound = cfg.GlobalSkewBound()
 		s.boundCfg = key
@@ -548,6 +654,13 @@ func (s *Simulation) Run() SkewReport {
 		s.report.TotalBeacons += snap.Beacons
 		s.report.TotalDiscoveries += snap.Discoveries
 	}
+
+	if s.faultOn {
+		fs := s.Net.FaultStats()
+		fs.Merge(s.injector.Stats())
+		s.report.Faults = fs
+		s.report.ReconvergenceTime = reconvergenceTime(fs, s.goodSince)
+	}
 	return s.report
 }
 
@@ -556,10 +669,15 @@ func (s *Simulation) Run() SkewReport {
 func (s *Simulation) Gradient() *GradientChecker { return s.gradient }
 
 // Run wires and executes cfg in one call, dispatching to the sharded
-// parallel harness when Config.Parallel is set.
-func Run(cfg Config) SkewReport {
-	if cfg.Parallel {
-		return NewParallel(cfg).Run()
+// parallel harness when Config.Parallel is set. A malformed config is
+// rejected with Validate's error before anything is wired — the
+// harness-boundary contract a long-running sweep service relies on.
+func Run(cfg Config) (SkewReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return SkewReport{}, err
 	}
-	return New(cfg).Run()
+	if cfg.Parallel {
+		return NewParallel(cfg).Run(), nil
+	}
+	return New(cfg).Run(), nil
 }

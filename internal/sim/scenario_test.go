@@ -70,7 +70,7 @@ func TestSkewInvariantMatrix(t *testing.T) {
 					Driver:   drv.spec,
 					Churn:    topo.ch,
 				}
-				rpt := Run(cfg)
+				rpt := mustRun(t, cfg)
 				assertSkewInvariants(t, cfg, rpt)
 			})
 		}
@@ -89,7 +89,7 @@ func TestRotatingStar64(t *testing.T) {
 		Driver:   DriverSpec{Kind: DriveRandomWalk, Interval: 1},
 		Churn:    ChurnSpec{Kind: ChurnRotatingStar, Period: 2, Overlap: 0.5},
 	}
-	rpt := Run(cfg)
+	rpt := mustRun(t, cfg)
 	assertSkewInvariants(t, cfg, rpt)
 	if rpt.EdgeAdds == 0 || rpt.EdgeRemoves == 0 {
 		t.Fatalf("star never rotated: %+v", rpt)
@@ -132,6 +132,6 @@ func TestGradientRegimeLine(t *testing.T) {
 	cfg.Node.Kappa = 0.05
 	cfg.Node.Mu = 1
 	cfg.Node.JumpThreshold = 0.2
-	rpt := Run(cfg)
+	rpt := mustRun(t, cfg)
 	assertSkewInvariants(t, cfg, rpt)
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -74,7 +75,16 @@ func forEachCell(n, workers int, run func(i int, a *Arena)) {
 // cell's execution depends only on its config, the output is
 // bit-identical for every worker count — including workers == 1, the
 // serial order — which TestSweepParallelBitIdentical pins.
-func RunSweep(cells []SweepCell, workers int) []SweepResult {
+//
+// Every cell is validated up front: one malformed config rejects the
+// whole sweep with a descriptive error before any cell runs, so a
+// sweep service never dies mid-grid on a panic.
+func RunSweep(cells []SweepCell, workers int) ([]SweepResult, error) {
+	for i := range cells {
+		if err := cells[i].Cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep cell %d (%s): %w", i, cells[i].Name, err)
+		}
+	}
 	out := make([]SweepResult, len(cells))
 	forEachCell(len(cells), workers, func(i int, a *Arena) {
 		out[i] = SweepResult{
@@ -83,5 +93,5 @@ func RunSweep(cells []SweepCell, workers int) []SweepResult {
 			Report: a.Run(cells[i].Cfg),
 		}
 	})
-	return out
+	return out, nil
 }

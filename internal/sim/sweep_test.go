@@ -48,9 +48,9 @@ func sweepGrid() []SweepCell {
 // more workers than cells.
 func TestSweepParallelBitIdentical(t *testing.T) {
 	cells := sweepGrid()
-	serial := RunSweep(cells, 1)
+	serial := mustSweep(t, cells, 1)
 	for _, workers := range []int{2, 4, len(cells) + 7} {
-		par := RunSweep(cells, workers)
+		par := mustSweep(t, cells, workers)
 		if !reflect.DeepEqual(serial, par) {
 			t.Fatalf("workers=%d: parallel sweep diverged from serial order", workers)
 		}
@@ -62,9 +62,9 @@ func TestSweepParallelBitIdentical(t *testing.T) {
 // same config.
 func TestSweepMatchesDirectRuns(t *testing.T) {
 	cells := sweepGrid()[:6]
-	results := RunSweep(cells, 3)
+	results := mustSweep(t, cells, 3)
 	for i, res := range results {
-		want := Run(cells[i].Cfg)
+		want := mustRun(t, cells[i].Cfg)
 		if !reflect.DeepEqual(res.Report, want) {
 			t.Fatalf("cell %d (%s): sweep report diverged from direct run:\n  sweep = %+v\n  direct = %+v",
 				i, res.Name, res.Report, want)
@@ -77,11 +77,11 @@ func TestSweepMatchesDirectRuns(t *testing.T) {
 
 // TestSweepEmptyAndSingle covers the degenerate grids.
 func TestSweepEmptyAndSingle(t *testing.T) {
-	if got := RunSweep(nil, 4); len(got) != 0 {
+	if got := mustSweep(t, nil, 4); len(got) != 0 {
 		t.Fatalf("empty sweep returned %d results", len(got))
 	}
 	cells := sweepGrid()[:1]
-	got := RunSweep(cells, 8)
+	got := mustSweep(t, cells, 8)
 	if len(got) != 1 || got[0].Report.EventsExecuted == 0 {
 		t.Fatalf("single-cell sweep degenerate: %+v", got)
 	}

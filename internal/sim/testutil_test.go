@@ -1,0 +1,25 @@
+package sim
+
+import "testing"
+
+// mustRun executes cfg via the package-level Run, failing the test on a
+// validation error. Tests that exercise deliberately malformed configs
+// call Run directly and assert on the error instead.
+func mustRun(t testing.TB, cfg Config) SkewReport {
+	t.Helper()
+	rpt, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run(%+v): %v", cfg, err)
+	}
+	return rpt
+}
+
+// mustSweep is mustRun's counterpart for RunSweep.
+func mustSweep(t testing.TB, cells []SweepCell, workers int) []SweepResult {
+	t.Helper()
+	out, err := RunSweep(cells, workers)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	return out
+}

@@ -46,6 +46,7 @@ import (
 
 	"gcs/internal/des"
 	"gcs/internal/dyngraph"
+	"gcs/internal/fault"
 )
 
 // Message is one point-to-point payload in flight or delivered. Value is
@@ -193,6 +194,11 @@ type Network struct {
 	// nbuf is the reused Broadcast neighbor buffer.
 	nbuf  []int
 	stats Stats
+	// faults, when non-nil, draws a per-message fault verdict (drop,
+	// duplicate, delay spike) before the normal send path; faultStats
+	// accumulates what fired.
+	faults     *fault.Messages
+	faultStats fault.Stats
 }
 
 // New creates a transport over g with the given delay law and bound, and
@@ -253,6 +259,8 @@ func (n *Network) Reset(delay DelayFn, maxDelay float64) {
 		n.handlers = grown
 	}
 	n.stats = Stats{}
+	n.faults = nil
+	n.faultStats = fault.Stats{}
 }
 
 // MaxDelay returns the configured delay bound.
@@ -272,6 +280,21 @@ func (n *Network) SetDelayMask(mask EdgeDelayFn) { n.mask = mask }
 // SetCoalescing enables or disables same-tick batching of sends on a
 // directed edge. Changing the setting affects subsequent sends only.
 func (n *Network) SetCoalescing(on bool) { n.coalesce = on }
+
+// SetFaults installs (or, with nil, removes) a message-fault plan:
+// every send first draws a verdict from it — dropped messages count
+// toward Sent (the sender paid for them) and the plan's Drops, never
+// toward Dropped (no edge removal occurred); duplicated messages send
+// a second flight with its own nominal delay; spiked messages charge a
+// delay beyond MaxDelay, exempt from the (0, maxDelay] validation.
+// Message faults are meant to run with coalescing off (the sim harness
+// enforces it): a verdict is drawn per send, and folding sends into an
+// open batch would let one verdict govern many values. Reset removes
+// the plan.
+func (n *Network) SetFaults(m *fault.Messages) { n.faults = m }
+
+// FaultStats returns the fault counters accumulated so far.
+func (n *Network) FaultStats() fault.Stats { return n.faultStats }
 
 // Stats returns the counters accumulated so far.
 func (n *Network) Stats() Stats { return n.stats }
@@ -307,8 +330,30 @@ func (n *Network) Send(from, to int, value float64) bool {
 	return true
 }
 
-// send accepts a value over an edge known to be present.
+// send accepts a value over an edge known to be present, applying the
+// fault plan (if any) before the normal path.
 func (n *Network) send(from, to int, e dyngraph.Edge, value float64) {
+	if n.faults != nil {
+		v := n.faults.Draw(from, n.en.Now(), &n.faultStats)
+		if v.Drop {
+			// The sender paid for the message; the fault plan ate it.
+			n.stats.Sent++
+			return
+		}
+		n.sendOne(from, to, e, value, v.Delay)
+		if v.Dup {
+			n.sendOne(from, to, e, value, 0)
+		}
+		return
+	}
+	n.sendOne(from, to, e, value, 0)
+}
+
+// sendOne transmits one value over an edge known to be present.
+// spikedDelay, when positive, is a fault-injected delay that may exceed
+// maxDelay and bypasses the nominal-law validation; 0 draws from the
+// usual delay law.
+func (n *Network) sendOne(from, to int, e dyngraph.Edge, value float64, spikedDelay float64) {
 	now := n.en.Now()
 	slot := n.slotFor(e)
 	sl := &n.slots[slot]
@@ -338,15 +383,18 @@ func (n *Network) send(from, to int, e dyngraph.Edge, value float64) {
 		SentAt: now,
 	}
 	f.vals = append(f.vals[:0], value)
-	delay := n.delay
-	if n.mask != nil {
-		if m := n.mask(from, to); m != nil {
-			delay = m
+	d := spikedDelay
+	if d == 0 {
+		delay := n.delay
+		if n.mask != nil {
+			if m := n.mask(from, to); m != nil {
+				delay = m
+			}
 		}
-	}
-	d := delay(&f.msg)
-	if d <= 0 || d > n.maxDelay {
-		panic(fmt.Sprintf("transport: delay %v outside (0, %v]", d, n.maxDelay))
+		d = delay(&f.msg)
+		if d <= 0 || d > n.maxDelay {
+			panic(fmt.Sprintf("transport: delay %v outside (0, %v]", d, n.maxDelay))
+		}
 	}
 	f.msg.DeliverAt = now + d
 	f.ev = n.en.ScheduleArg(f.msg.DeliverAt, "transport.deliver", n.deliverFn, uint64(fi))
