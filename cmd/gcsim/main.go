@@ -41,6 +41,12 @@
 //
 //	go run ./cmd/gcsim chaos -n 48 -horizon 12 -out .
 //	go run ./cmd/gcsim -n 64 -fault-drop 0.2 -fault-crash-every 5
+//
+// The `realtime` subcommand runs the scenario on the goroutine-per-node
+// real-time runtime (internal/rt) instead of the DES: one simulated
+// second is one wall second, so keep the horizon short:
+//
+//	go run ./cmd/gcsim realtime -n 16 -horizon 5 -driver bangbang
 package main
 
 import (
@@ -72,6 +78,9 @@ func main() {
 			return
 		case "chaos":
 			runChaos(os.Args[2:])
+			return
+		case "realtime":
+			runRealtime(os.Args[2:])
 			return
 		}
 	}

@@ -1,0 +1,40 @@
+package clock
+
+import "gcs/internal/seam"
+
+// HardwareClock is the DES-side implementation of the harness seam: the
+// node algorithm reads it through seam.Clock, while the harness keeps
+// the concrete handle for rate drift (SetRate) and arena reuse (Reset).
+var _ seam.Clock = (*HardwareClock)(nil)
+
+// NewTimer returns an unarmed resettable timer on this clock. The
+// wrapper is long-lived — one allocation at construction, zero per
+// re-arm — and delegates each arming to SetTimer, so firing order,
+// event labels, and trace hooks are exactly those of the underlying
+// pooled timers.
+func (c *HardwareClock) NewTimer(label string, fn func()) seam.Timer {
+	return &seamTimer{c: c, label: label, fn: fn}
+}
+
+// seamTimer adapts the generation-checked TimerRef API (SetTimer /
+// CancelTimer) to seam.Timer's resettable shape. A stale ref — the
+// timer fired, or the clock was Reset underneath us — makes CancelTimer
+// a no-op, so Reset and Stop are always safe to call.
+type seamTimer struct {
+	c     *HardwareClock
+	ref   TimerRef
+	label string
+	fn    func()
+}
+
+func (t *seamTimer) Reset(dH float64) {
+	t.c.CancelTimer(t.ref)
+	t.ref = t.c.SetTimer(dH, t.label, t.fn)
+}
+
+func (t *seamTimer) Stop() {
+	t.c.CancelTimer(t.ref)
+	t.ref = TimerRef{}
+}
+
+func (t *seamTimer) Pending() bool { return t.ref.Pending() }

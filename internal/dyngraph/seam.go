@@ -1,0 +1,8 @@
+package dyngraph
+
+import "gcs/internal/seam"
+
+// Dynamic is the DES-side seam.Topology: gcs nodes enumerate their
+// current neighborhood through AppendNeighbors without importing this
+// package.
+var _ seam.Topology = (*Dynamic)(nil)

@@ -9,10 +9,10 @@ import (
 )
 
 // solo builds an isolated node (no transport) on a fresh engine.
-func solo(p Params) (*des.Engine, *Node) {
+func solo(p Params) (*des.Engine, *clock.HardwareClock, *Node) {
 	en := des.NewEngine()
 	hw := clock.New(en, 1)
-	return en, New(0, hw, p, nil, nil)
+	return en, hw, New(0, hw, p, nil, nil)
 }
 
 // TestOnValuesFoldsBatchToMax pins the coalesced ingest rule: a batch
@@ -21,8 +21,8 @@ func solo(p Params) (*des.Engine, *Node) {
 // values at the same instant would, while counting every value.
 func TestOnValuesFoldsBatchToMax(t *testing.T) {
 	p := Params{Rho: 0.01, MaxDelay: 0.01, BeaconEvery: 0.1, JumpThreshold: 0}
-	_, batched := solo(p)
-	_, staged := solo(p)
+	_, _, batched := solo(p)
+	_, _, staged := solo(p)
 
 	values := []float64{5, 9, 7}
 	batched.OnValues(1, values)
@@ -50,7 +50,7 @@ func TestOnValuesFoldsBatchToMax(t *testing.T) {
 
 // TestOnValuesEmptyBatchIsNoOp guards the degenerate call.
 func TestOnValuesEmptyBatchIsNoOp(t *testing.T) {
-	_, nd := solo(Params{})
+	_, _, nd := solo(Params{})
 	nd.OnValues(1, nil)
 	if s := nd.Snap(); s.Messages != 0 || !math.IsInf(s.MaxEstimate, -1) {
 		t.Fatalf("empty batch mutated the node: %+v", s)
@@ -63,7 +63,7 @@ func TestOnValuesEmptyBatchIsNoOp(t *testing.T) {
 // rebased to the fresh hardware reading.
 func TestNodeResetClearsState(t *testing.T) {
 	p := Params{Rho: 0.01, MaxDelay: 0.01, BeaconEvery: 0.1, JumpThreshold: 0}
-	en, nd := solo(p)
+	en, hw, nd := solo(p)
 	nd.Start(0)
 	en.Run(1)
 	nd.OnMessage(1, 50)
@@ -72,7 +72,7 @@ func TestNodeResetClearsState(t *testing.T) {
 	}
 
 	en.Reset()
-	nd.HW().Reset(1)
+	hw.Reset(1)
 	nd.Reset(p)
 	s := nd.Snap()
 	if s.Logical != 0 || s.Hardware != 0 || s.Messages != 0 || s.Jumps != 0 ||

@@ -1,0 +1,119 @@
+package gcs
+
+import (
+	"math"
+	"testing"
+
+	"gcs/internal/clock"
+	"gcs/internal/des"
+	"gcs/internal/dyngraph"
+	"gcs/internal/transport"
+)
+
+// coalescedPair wires two unit-rate nodes over one static edge with a
+// coalescing fixed-delay transport and the sim harness's batch-aware
+// handler dispatch (Values -> OnValues, singleton -> OnMessage). Nodes
+// are not started, so the only traffic is what the test injects.
+func coalescedPair(t *testing.T, p Params, delay float64) (*des.Engine, *transport.Network, []*Node) {
+	t.Helper()
+	en := des.NewEngine()
+	g := dyngraph.NewDynamic(2, []dyngraph.Edge{dyngraph.E(0, 1)})
+	net := transport.New(en, g, transport.FixedDelay(delay), delay)
+	net.SetCoalescing(true)
+	nodes := make([]*Node, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		nodes[i] = New(i, clock.New(en, 1), p, net, g)
+		net.SetHandler(i, func(m transport.Message) {
+			if m.Values != nil {
+				nodes[i].OnValues(m.From, m.Values)
+			} else {
+				nodes[i].OnMessage(m.From, m.Value)
+			}
+		})
+	}
+	return en, net, nodes
+}
+
+// TestCrashBetweenFoldAndCoalescedDelivery pins the interleaving where
+// the receiver crashes after two same-tick sends have folded into one
+// in-flight batch but before the batch delivers: the transport still
+// delivers (to a dead process), the node ignores the whole batch, and a
+// later recovery does not resurrect it — the values are gone with the
+// rest of the volatile state.
+func TestCrashBetweenFoldAndCoalescedDelivery(t *testing.T) {
+	p := Params{Rho: 0.01, MaxDelay: 0.01, BeaconEvery: 0.1, JumpThreshold: 0}
+	en, net, nodes := coalescedPair(t, p, 0.01)
+
+	// Two sends in one engine event fold into a single two-value flight.
+	en.Schedule(1, "test.send", func() {
+		net.Send(0, 1, 50)
+		net.Send(0, 1, 100)
+	})
+	// Crash strictly between the fold instant (1.0) and delivery (1.01).
+	en.Schedule(1.005, "test.crash", func() { nodes[1].Crash() })
+	en.Run(2)
+
+	st := net.Stats()
+	if st.Sent != 2 || st.Coalesced != 1 {
+		t.Fatalf("sends did not coalesce: %+v", st)
+	}
+	if st.Delivered != 2 {
+		t.Fatalf("batch not delivered (the edge never vanished): %+v", st)
+	}
+	s := nodes[1].Snap()
+	if s.Messages != 0 || s.Jumps != 0 {
+		t.Fatalf("crashed node ingested the batch: %+v", s)
+	}
+	if !math.IsInf(s.MaxEstimate, -1) {
+		t.Fatalf("crashed node retained an estimate: %+v", s)
+	}
+
+	// Recovery must not resurrect the batch either: the logical clock
+	// restarts from hardware and no estimate reappears.
+	en.Schedule(2.5, "test.recover", func() { nodes[1].Recover() })
+	en.Run(3)
+	s = nodes[1].Snap()
+	if s.Messages != 0 {
+		t.Fatalf("recovery resurrected the dead-delivered batch: %+v", s)
+	}
+	if math.Abs(s.Logical-s.Hardware) > 1e-9 {
+		t.Fatalf("recovered logical %v != hardware %v", s.Logical, s.Hardware)
+	}
+}
+
+// TestRecoverBeforeCoalescedDelivery pins the complementary
+// interleaving: crash and recovery both complete while the batch is
+// still in flight. Messages survive a receiver crash/recover cycle —
+// only node state is volatile — so the recovered node ingests the full
+// batch and jumps to its maximum.
+func TestRecoverBeforeCoalescedDelivery(t *testing.T) {
+	p := Params{Rho: 0.01, MaxDelay: 0.01, BeaconEvery: 0.1, JumpThreshold: 0}
+	en, net, nodes := coalescedPair(t, p, 0.01)
+
+	en.Schedule(1, "test.send", func() {
+		net.Send(0, 1, 50)
+		net.Send(0, 1, 100)
+	})
+	en.Schedule(1.002, "test.crash", func() { nodes[1].Crash() })
+	en.Schedule(1.005, "test.recover", func() { nodes[1].Recover() })
+	en.Run(2)
+
+	// The recovered node's rejoin beacons add their own (singleton)
+	// traffic on top of the injected batch, so only the fold is pinned.
+	if st := net.Stats(); st.Coalesced != 1 || st.Delivered < 2 {
+		t.Fatalf("batch lost in flight: %+v", st)
+	}
+	s := nodes[1].Snap()
+	if s.Messages != 2 {
+		t.Fatalf("recovered node counted %d values, want the full batch of 2", s.Messages)
+	}
+	// With threshold 0 the fold jumps once, straight to the batch max
+	// (conservatively aged, so slightly below 100 plus elapsed credit).
+	if s.Jumps != 1 {
+		t.Fatalf("fold jumped %d times, want 1", s.Jumps)
+	}
+	if s.Logical < 90 {
+		t.Fatalf("recovered node never caught up to the batch max: L=%v", s.Logical)
+	}
+}

@@ -25,6 +25,13 @@
 // advanced at least that much, so estimates are always lower bounds on
 // the source's current value and a jump can never overshoot the true
 // network maximum.
+//
+// The node is written entirely against the harness seam (internal/seam):
+// it reads time and arms subjective timers through seam.Clock/Timer and
+// talks to the world through seam.Sender/Topology, so the same code runs
+// under the discrete-event simulator (internal/sim) and the real-time
+// runtime (internal/rt). It is single-threaded by contract — the owning
+// harness serializes every entry point.
 package gcs
 
 import (
@@ -32,7 +39,7 @@ import (
 	"fmt"
 	"math"
 
-	"gcs/internal/clock"
+	"gcs/internal/seam"
 )
 
 // MuDisabled requests the jump-only regime: fast-rate catch-up is
@@ -173,25 +180,32 @@ type Snapshot struct {
 	Fast        bool
 }
 
-// Node is one synchronization participant. It is single-threaded, owned
-// by its clock's engine.
-type Node struct {
-	id int
-	hw *clock.HardwareClock
-	p  Params
+// noopSender and noopTopo are the defaults for isolated unit tests: no
+// neighbors, no sends.
+type noopSender struct{}
 
-	// broadcast sends the node's logical value to all current neighbors
-	// and returns the number of messages sent.
-	broadcast func(value float64) int
-	// unicast, when set, sends the node's logical value to one specific
-	// neighbor; neighbor discovery (OnEdgeAdded) uses it to beacon over a
-	// fresh edge without re-beaconing the whole neighborhood.
-	unicast func(to int, value float64) bool
-	// neighbors appends the node's current neighbors to buf (any order;
-	// the fast-mode scan is order-independent). nbuf is the reused
+func (noopSender) Broadcast(int, float64) int  { return 0 }
+func (noopSender) Send(int, int, float64) bool { return false }
+
+type noopTopo struct{}
+
+func (noopTopo) AppendNeighbors(_ int, buf []int) []int { return buf }
+
+// Node is one synchronization participant. It is single-threaded, owned
+// by its harness (the clock's engine in the DES, the node goroutine in
+// the real-time runtime).
+type Node struct {
+	id  int
+	clk seam.Clock
+	p   Params
+
+	// net carries beacons to the current neighbors (Broadcast) and the
+	// discovery unicast over a fresh edge (Send). topo enumerates the
+	// current neighborhood for the fast-mode scan; nbuf is its reused
 	// scratch buffer so the per-message path does not allocate.
-	neighbors func(buf []int) []int
-	nbuf      []int
+	net  seam.Sender
+	topo seam.Topology
+	nbuf []int
 
 	// Logical clock as a line in hardware time:
 	// L(h) = baseL + mult*(h - baseH), rebased at every regime change.
@@ -201,81 +215,71 @@ type Node struct {
 	// maxNorm is the running maximum of est[*].norm (-Inf when empty);
 	// per-source norms only ever increase, so it never needs a rescan.
 	maxNorm float64
-	catchup clock.TimerRef
-	// beacon is the pending periodic-beacon timer, tracked so a crash
-	// can silence the loop and a recovery can restart it.
-	beacon clock.TimerRef
+	// catchupT re-evaluates the regime exactly when L reaches the fast
+	// target; beaconT drives the periodic beacon loop. Both are created
+	// once in New and re-armed in place, so the per-tick path does not
+	// allocate and a crash can silence either.
+	catchupT seam.Timer
+	beaconT  seam.Timer
 	// down marks a crashed node (fault injection): it neither beacons
 	// nor reacts to incoming traffic until Recover.
 	down bool
-	// recomputeFn and beaconFn are the long-lived func values backing
-	// catch-up timers and the periodic beacon loop, so rearming either
-	// does not allocate a closure.
-	recomputeFn func()
-	beaconFn    func()
 
 	msgs, jumps, beacons, discoveries int
 	fast                              bool
 }
 
-// New creates a node. broadcast and neighbors wire it to the transport
-// and graph without an import dependency; either may be nil for isolated
-// unit tests (treated as no neighbors, no sends).
-func New(id int, hw *clock.HardwareClock, p Params,
-	broadcast func(value float64) int, neighbors func(buf []int) []int) *Node {
+// New creates a node. net and topo wire it to the harness's transport
+// and graph; either may be nil for isolated unit tests (treated as no
+// neighbors, no sends).
+func New(id int, clk seam.Clock, p Params, net seam.Sender, topo seam.Topology) *Node {
 	p = p.WithDefaults()
 	p.validate()
-	if broadcast == nil {
-		broadcast = func(float64) int { return 0 }
+	if net == nil {
+		net = noopSender{}
 	}
-	if neighbors == nil {
-		neighbors = func(buf []int) []int { return buf }
+	if topo == nil {
+		topo = noopTopo{}
 	}
 	nd := &Node{
-		id:        id,
-		hw:        hw,
-		p:         p,
-		broadcast: broadcast,
-		neighbors: neighbors,
-		baseH:     hw.Now(),
-		baseL:     hw.Now(),
-		mult:      1,
-		est:       make(map[int]estimate),
-		maxNorm:   math.Inf(-1),
+		id:      id,
+		clk:     clk,
+		p:       p,
+		net:     net,
+		topo:    topo,
+		baseH:   clk.Now(),
+		baseL:   clk.Now(),
+		mult:    1,
+		est:     make(map[int]estimate),
+		maxNorm: math.Inf(-1),
 	}
-	nd.recomputeFn = nd.recompute
-	nd.beaconFn = func() {
+	nd.catchupT = clk.NewTimer("gcs.catchup", nd.recompute)
+	nd.beaconT = clk.NewTimer("gcs.beacon", func() {
 		nd.emit()
-		nd.beacon = nd.hw.SetTimer(nd.p.BeaconEvery, "gcs.beacon", nd.beaconFn)
-	}
+		nd.beaconT.Reset(nd.p.BeaconEvery)
+	})
 	return nd
 }
 
 // Reset returns the node to its initial state under (possibly new)
-// parameters, keeping the wiring closures, the estimate map's buckets,
-// and the neighbor scratch buffer, so re-running a node on a reused
-// arena allocates nothing. The hardware clock must already have been
-// Reset; the logical clock restarts at the (fresh) hardware reading.
+// parameters, keeping the seam wiring, the timers, the estimate map's
+// buckets, and the neighbor scratch buffer, so re-running a node on a
+// reused arena allocates nothing. The clock must already have been
+// reset by the harness; the logical clock restarts at the (fresh)
+// hardware reading.
 func (nd *Node) Reset(p Params) {
 	p = p.WithDefaults()
 	p.validate()
 	nd.p = p
-	h := nd.hw.Now()
+	h := nd.clk.Now()
 	nd.baseH, nd.baseL, nd.mult = h, h, 1
 	clear(nd.est)
 	nd.maxNorm = math.Inf(-1)
-	nd.catchup = clock.TimerRef{}
-	nd.beacon = clock.TimerRef{}
+	nd.catchupT.Stop()
+	nd.beaconT.Stop()
 	nd.down = false
 	nd.msgs, nd.jumps, nd.beacons, nd.discoveries = 0, 0, 0, 0
 	nd.fast = false
-}
-
-// SetUnicast installs the point-to-point send used by neighbor
-// discovery. Without one, OnEdgeAdded still refreshes the node's regime
-// but cannot beacon over the fresh edge.
-func (nd *Node) SetUnicast(send func(to int, value float64) bool) {
-	nd.unicast = send
 }
 
 // OnEdgeAdded reacts to a fresh incident edge: the node immediately
@@ -291,16 +295,16 @@ func (nd *Node) OnEdgeAdded(peer int) {
 	}
 	nd.recompute()
 	nd.discoveries++
-	if nd.unicast != nil {
-		nd.unicast(peer, nd.Logical())
-	}
+	nd.net.Send(nd.id, peer, nd.Logical())
 }
 
 // ID returns the node's identifier.
 func (nd *Node) ID() int { return nd.id }
 
-// HW returns the node's hardware clock.
-func (nd *Node) HW() *clock.HardwareClock { return nd.hw }
+// Clock returns the node's hardware clock, as the seam interface the
+// node itself sees. Harnesses keep the concrete handle (for rate drift
+// and reset); tests that only need readings can go through this.
+func (nd *Node) Clock() seam.Clock { return nd.clk }
 
 // Start installs the beacon loop. phase is the hardware-time offset of
 // the first beacon (stagger nodes to avoid synchronized bursts); it must
@@ -309,7 +313,7 @@ func (nd *Node) Start(phase float64) {
 	if phase < 0 {
 		panic("gcs: negative beacon phase")
 	}
-	nd.beacon = nd.hw.SetTimer(phase, "gcs.beacon", nd.beaconFn)
+	nd.beaconT.Reset(phase)
 }
 
 // Crash takes the node offline — the fault subsystem's crash-stop /
@@ -322,10 +326,8 @@ func (nd *Node) Crash() {
 		return
 	}
 	nd.down = true
-	nd.hw.CancelTimer(nd.beacon)
-	nd.beacon = clock.TimerRef{}
-	nd.hw.CancelTimer(nd.catchup)
-	nd.catchup = clock.TimerRef{}
+	nd.beaconT.Stop()
+	nd.catchupT.Stop()
 	nd.fast = false
 }
 
@@ -340,20 +342,20 @@ func (nd *Node) Recover() {
 		return
 	}
 	nd.down = false
-	h := nd.hw.Now()
+	h := nd.clk.Now()
 	nd.baseH, nd.baseL, nd.mult = h, h, 1
 	clear(nd.est)
 	nd.maxNorm = math.Inf(-1)
 	nd.fast = false
-	nd.beacon = nd.hw.SetTimer(0, "gcs.beacon", nd.beaconFn)
+	nd.beaconT.Reset(0)
 }
 
 // Down reports whether the node is currently crashed.
 func (nd *Node) Down() bool { return nd.down }
 
-// Logical returns L_u at the engine's current time.
+// Logical returns L_u at the clock's current reading.
 func (nd *Node) Logical() float64 {
-	return nd.logicalAt(nd.hw.Now())
+	return nd.logicalAt(nd.clk.Now())
 }
 
 func (nd *Node) logicalAt(h float64) float64 {
@@ -379,7 +381,7 @@ func (nd *Node) OnMessage(from int, value float64) {
 		// dead node, and the value is lost with the rest of its state.
 		return
 	}
-	h := nd.hw.Now()
+	h := nd.clk.Now()
 	nd.msgs++
 	norm := value - nd.ageFactor()*h
 	if e, ok := nd.est[from]; !ok || norm > e.norm {
@@ -402,7 +404,7 @@ func (nd *Node) OnValues(from int, values []float64) {
 	if nd.down || len(values) == 0 {
 		return
 	}
-	h := nd.hw.Now()
+	h := nd.clk.Now()
 	nd.msgs += len(values)
 	maxV := values[0]
 	for _, v := range values[1:] {
@@ -424,19 +426,19 @@ func (nd *Node) OnValues(from int, values []float64) {
 func (nd *Node) emit() {
 	if nd.down {
 		// Crash cancels the beacon timer, so this only guards a beacon
-		// event already in the same engine tick as the crash.
+		// event already in the same harness tick as the crash.
 		return
 	}
 	nd.recompute()
 	nd.beacons++
-	nd.broadcast(nd.Logical())
+	nd.net.Broadcast(nd.id, nd.Logical())
 }
 
 // recompute rebases the logical clock at the current instant, applies the
 // jump rule against the global max estimate, and selects the rate regime
 // from the current neighbors' estimates.
 func (nd *Node) recompute() {
-	h := nd.hw.Now()
+	h := nd.clk.Now()
 	L := nd.logicalAt(h)
 
 	maxEst := nd.maxNorm + nd.ageFactor()*h
@@ -453,7 +455,7 @@ func (nd *Node) recompute() {
 	fast := false
 	target := math.Inf(-1)
 	if nd.p.FastRateEnabled() {
-		nd.nbuf = nd.neighbors(nd.nbuf[:0])
+		nd.nbuf = nd.topo.AppendNeighbors(nd.id, nd.nbuf[:0])
 		for _, v := range nd.nbuf {
 			e, ok := nd.est[v]
 			if !ok {
@@ -476,20 +478,19 @@ func (nd *Node) recompute() {
 		nd.mult = 1
 	}
 
-	nd.hw.CancelTimer(nd.catchup)
-	nd.catchup = clock.TimerRef{}
+	nd.catchupT.Stop()
 	if fast {
 		// L reaches target after (target-L)/mult hardware time; the
 		// estimate will have aged less than that (ageFactor < 1 <= mult),
 		// so each round shrinks the gap geometrically until it is <= Kappa.
 		dH := (target - L) / nd.mult
-		nd.catchup = nd.hw.SetTimer(dH, "gcs.catchup", nd.recomputeFn)
+		nd.catchupT.Reset(dH)
 	}
 }
 
 // Snap returns a snapshot of the node's state at the current time.
 func (nd *Node) Snap() Snapshot {
-	h := nd.hw.Now()
+	h := nd.clk.Now()
 	maxEst := nd.maxNorm + nd.ageFactor()*h
 	return Snapshot{
 		ID:          nd.id,

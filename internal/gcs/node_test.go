@@ -11,7 +11,9 @@ import (
 )
 
 // pair wires two nodes over a single static edge with a fixed-delay
-// transport, returning the engine and both nodes.
+// transport, returning the engine and both nodes. The network and graph
+// plug straight into the seam (transport.Network is the seam.Sender,
+// dyngraph.Dynamic the seam.Topology).
 func pair(t *testing.T, p Params, rate0, rate1, delay float64) (*des.Engine, []*Node) {
 	t.Helper()
 	en := des.NewEngine()
@@ -21,15 +23,19 @@ func pair(t *testing.T, p Params, rate0, rate1, delay float64) (*des.Engine, []*
 	for i, rate := range []float64{rate0, rate1} {
 		i := i
 		hw := clock.New(en, rate)
-		nodes[i] = New(i, hw, p,
-			func(v float64) int { return net.Broadcast(i, v) },
-			func(buf []int) []int { return g.AppendNeighbors(i, buf) })
+		nodes[i] = New(i, hw, p, net, g)
 		net.SetHandler(i, func(m transport.Message) {
 			nodes[i].OnMessage(m.From, m.Value)
 		})
 	}
 	return en, nodes
 }
+
+// nbrs is a fixed neighbor set: the seam.Topology for isolated unit
+// tests that need a neighborhood without a graph.
+type nbrs []int
+
+func (s nbrs) AppendNeighbors(_ int, buf []int) []int { return append(buf, s...) }
 
 func TestTwoNodesConvergeUnderMaxRule(t *testing.T) {
 	p := Params{Rho: 0.05, MaxDelay: 0.01, BeaconEvery: 0.1, JumpThreshold: 0}
@@ -64,8 +70,8 @@ func TestLogicalNeverDecreasesAndDominatesHardware(t *testing.T) {
 			if l < prev[i]-1e-12 {
 				t.Fatalf("node %d logical clock decreased: %v -> %v", i, prev[i], l)
 			}
-			if l < nd.HW().Now()-1e-12 {
-				t.Fatalf("node %d logical %v below hardware %v", i, l, nd.HW().Now())
+			if l < nd.Clock().Now()-1e-12 {
+				t.Fatalf("node %d logical %v below hardware %v", i, l, nd.Clock().Now())
 			}
 			prev[i] = l
 		}
@@ -96,7 +102,7 @@ func TestFastModeCatchesUpAtFastRate(t *testing.T) {
 	// Jumps disabled: all catch-up must happen at the fast rate.
 	p := Params{Rho: 0.01, BeaconEvery: 0.1, Kappa: 0.5, Mu: 1,
 		JumpThreshold: math.Inf(1)}
-	nd := New(0, hw, p, nil, func(buf []int) []int { return append(buf, 1) })
+	nd := New(0, hw, p, nil, nbrs{1})
 	en.Schedule(1, "inject", func() { nd.OnMessage(1, 11) })
 	en.Run(1)
 	if !nd.Snap().Fast {
@@ -127,7 +133,7 @@ func TestFastModeOnlyTriggersOnCurrentNeighbors(t *testing.T) {
 	p := Params{Rho: 0.01, Kappa: 0.5, JumpThreshold: math.Inf(1)}
 	// Node 1 is not in the neighbor set: its huge value must not trigger
 	// fast mode (it is stale information from a vanished edge).
-	nd := New(0, hw, p, nil, func(buf []int) []int { return append(buf, 2) })
+	nd := New(0, hw, p, nil, nbrs{2})
 	en.Schedule(1, "inject", func() { nd.OnMessage(1, 1000) })
 	en.Run(2)
 	if nd.Snap().Fast {

@@ -40,7 +40,7 @@ func TestJumpOnlyRegimeNeverEntersFastMode(t *testing.T) {
 	en := des.NewEngine()
 	hw := clock.New(en, 1)
 	p := Params{Rho: 0.01, BeaconEvery: 0.1, Kappa: 0.5, Mu: MuDisabled, JumpThreshold: 0}
-	nd := New(0, hw, p, nil, func(buf []int) []int { return append(buf, 1) })
+	nd := New(0, hw, p, nil, nbrs{1})
 	en.Schedule(1, "inject", func() { nd.OnMessage(1, 100) })
 	en.Run(2)
 	s := nd.Snap()
@@ -75,35 +75,44 @@ func TestKappaDefaultFollowsSchedule(t *testing.T) {
 	}
 }
 
+// captureSender records discovery unicasts: the seam.Sender for tests
+// that watch what a node sends without wiring a transport.
+type captureSender struct {
+	sentTo  int
+	sentVal float64
+	sends   int
+}
+
+func (c *captureSender) Broadcast(int, float64) int { return 0 }
+
+func (c *captureSender) Send(_, to int, v float64) bool {
+	c.sentTo, c.sentVal, c.sends = to, v, c.sends+1
+	return true
+}
+
 // TestDiscoveryBeaconsImmediately checks OnEdgeAdded: the node unicasts
 // its current logical value to the new neighbor right away, without
 // waiting for the periodic beacon.
 func TestDiscoveryBeaconsImmediately(t *testing.T) {
 	en := des.NewEngine()
 	hw := clock.New(en, 1)
-	var sentTo int
-	var sentVal float64
-	sends := 0
-	nd := New(0, hw, Params{Rho: 0.01, BeaconEvery: 100}, nil, nil)
-	nd.SetUnicast(func(to int, v float64) bool {
-		sentTo, sentVal, sends = to, v, sends+1
-		return true
-	})
+	cap := &captureSender{}
+	nd := New(0, hw, Params{Rho: 0.01, BeaconEvery: 100}, cap, nil)
 	en.Schedule(3, "edge", func() { nd.OnEdgeAdded(9) })
 	en.Run(5)
-	if sends != 1 || sentTo != 9 {
-		t.Fatalf("discovery unicast: sends=%d to=%d", sends, sentTo)
+	if cap.sends != 1 || cap.sentTo != 9 {
+		t.Fatalf("discovery unicast: sends=%d to=%d", cap.sends, cap.sentTo)
 	}
-	if math.Abs(sentVal-3) > 1e-9 {
-		t.Fatalf("discovery beacon carried %v, want the logical value ~3", sentVal)
+	if math.Abs(cap.sentVal-3) > 1e-9 {
+		t.Fatalf("discovery beacon carried %v, want the logical value ~3", cap.sentVal)
 	}
 	if nd.Snap().Discoveries != 1 {
 		t.Fatalf("discoveries = %d, want 1", nd.Snap().Discoveries)
 	}
-	// Without a unicast hook the callback is still safe.
+	// Without a sender the callback is still safe.
 	bare := New(1, clock.New(en, 1), Params{}, nil, nil)
 	bare.OnEdgeAdded(0)
 	if bare.Snap().Discoveries != 1 {
-		t.Fatal("OnEdgeAdded without unicast did not count")
+		t.Fatal("OnEdgeAdded without a sender did not count")
 	}
 }

@@ -1,0 +1,88 @@
+package rt
+
+import (
+	"math"
+	"testing"
+
+	"gcs/internal/sim"
+)
+
+// TestRealTimeSmoke runs a small ring against the real wall clock (no
+// synctest bubble): half a second of wall time, loose assertions. The
+// tight bound checks live in the synctest suite, where the clock is
+// fake and the schedule deterministic; here we only require that the
+// runtime actually runs — nodes beacon, messages flow, the report is
+// internally consistent — under a real scheduler.
+func TestRealTimeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time smoke test sleeps wall-clock time")
+	}
+	cfg := sim.Config{
+		N:        8,
+		Seed:     1,
+		Horizon:  0.5,
+		Rho:      0.01,
+		MaxDelay: 0.01,
+		Topology: sim.TopologySpec{Kind: sim.TopoRing},
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples < 3 {
+		t.Fatalf("samples = %d, want at least t=0, one periodic, horizon", rep.Samples)
+	}
+	if rep.TotalBeacons == 0 || rep.Transport.Sent == 0 || rep.Transport.Delivered == 0 {
+		t.Fatalf("no traffic: %+v", rep)
+	}
+	if rep.TotalMessages == 0 {
+		t.Fatalf("nodes ingested nothing: %+v", rep)
+	}
+	if math.IsNaN(rep.MaxGlobalSkew) || rep.MaxGlobalSkew < 0 {
+		t.Fatalf("degenerate skew %v", rep.MaxGlobalSkew)
+	}
+	// Real-time scheduling is fuzzy, so only a generous sanity bound.
+	if rep.MaxGlobalSkew > 10*rep.Bound+1 {
+		t.Fatalf("global skew %v wildly above bound %v", rep.MaxGlobalSkew, rep.Bound)
+	}
+	if rep.MinRateSeen < 1-cfg.Rho-1e-12 || rep.MaxRateSeen > 1+cfg.Rho+1e-12 {
+		t.Fatalf("rates [%v, %v] outside the drift band", rep.MinRateSeen, rep.MaxRateSeen)
+	}
+	if rep.EventsExecuted == 0 {
+		t.Fatal("no events executed")
+	}
+}
+
+// TestSupportsRejectsDESOnlyFeatures pins the feature boundary between
+// the harnesses, through both Supports and the New error path.
+func TestSupportsRejectsDESOnlyFeatures(t *testing.T) {
+	base := sim.Config{N: 4, Horizon: 1, Topology: sim.TopologySpec{Kind: sim.TopoRing}}
+	for name, mut := range map[string]func(*sim.Config){
+		"parallel":      func(c *sim.Config) { c.Parallel = true },
+		"gradient":      func(c *sim.Config) { c.CheckGradient = true },
+		"volatileChurn": func(c *sim.Config) { c.Churn = sim.ChurnSpec{Kind: sim.ChurnVolatile, Lifetime: 1, Absence: 1} },
+	} {
+		cfg := base
+		mut(&cfg)
+		if err := Supports(cfg); err == nil {
+			t.Errorf("%s: Supports accepted a DES-only config", name)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: New accepted a DES-only config", name)
+		}
+	}
+	if err := Supports(base); err != nil {
+		t.Errorf("Supports rejected a plain ring: %v", err)
+	}
+}
+
+// TestNewRejectsInvalidConfig pins that rt.New shares sim's validation
+// boundary: malformed configs error, they do not panic.
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	if _, err := New(sim.Config{N: 0}); err == nil {
+		t.Fatal("New accepted N=0")
+	}
+	if _, err := New(sim.Config{N: 8, Rho: 2}); err == nil {
+		t.Fatal("New accepted Rho=2")
+	}
+}

@@ -1,0 +1,185 @@
+//go:build goexperiment.synctest
+
+// The deterministic concurrency suite: every test runs the real-time
+// runtime inside a testing/synctest bubble, where the wall clock is
+// fake, time only advances when every goroutine is durably blocked, and
+// timers fire in exact deadline order. A 10-second scenario finishes in
+// milliseconds, the schedule is reproducible run to run, and the race
+// detector still sees every real interleaving of the runtime's
+// goroutines — so these tests are both fast and strict. Gated behind
+// GOEXPERIMENT=synctest (go1.24); CI runs them with -race -count=3.
+
+package rt
+
+import (
+	"math"
+	"testing"
+	"testing/synctest"
+
+	"gcs/internal/sim"
+	"gcs/internal/simtest"
+)
+
+// runBubble executes cfg to completion inside a synctest bubble and
+// returns the report. synctest.Run itself only returns once every
+// goroutine the run spawned has exited, so it doubles as the shutdown
+// cleanliness check: a leaked node goroutine hangs the test.
+func runBubble(t *testing.T, cfg sim.Config) sim.SkewReport {
+	t.Helper()
+	var rep sim.SkewReport
+	var err error
+	synctest.Run(func() {
+		rep, err = Run(cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func ringCfg(n int, seed uint64) sim.Config {
+	return sim.Config{
+		N:        n,
+		Seed:     seed,
+		Horizon:  10,
+		Rho:      0.01,
+		MaxDelay: 0.01,
+		Topology: sim.TopologySpec{Kind: sim.TopoRing},
+		Driver:   sim.DriverSpec{Kind: sim.DriveBangBang, Interval: 1},
+	}
+}
+
+// TestBubbleRingSatisfiesBounds is the core property check: a drifting
+// ring run by real goroutines stays within the same analytic global and
+// gradient bounds the DES harness verifies.
+func TestBubbleRingSatisfiesBounds(t *testing.T) {
+	cfg := ringCfg(16, 7)
+	rep := runBubble(t, cfg)
+	if rep.MaxGlobalSkew <= 0 || rep.MaxGlobalSkew > rep.Bound {
+		t.Fatalf("global skew %v outside (0, bound %v]", rep.MaxGlobalSkew, rep.Bound)
+	}
+	if g1 := cfg.GradientBound(1); rep.MaxAdjacentSkew > g1 {
+		t.Fatalf("adjacent skew %v above gradient bound %v", rep.MaxAdjacentSkew, g1)
+	}
+	if rep.MinRateSeen < 1-cfg.Rho-1e-12 || rep.MaxRateSeen > 1+cfg.Rho+1e-12 {
+		t.Fatalf("rates [%v, %v] escaped the drift band", rep.MinRateSeen, rep.MaxRateSeen)
+	}
+	// BangBang pins both band edges, so the fold must reach them exactly.
+	if rep.MinRateSeen != 1-cfg.Rho || rep.MaxRateSeen != 1+cfg.Rho {
+		t.Fatalf("BangBang driver never reached the band edges: [%v, %v]", rep.MinRateSeen, rep.MaxRateSeen)
+	}
+	// Every node beacons roughly Horizon/BeaconEvery times; require half.
+	if want := 16 * 10 / 0.1 / 2; float64(rep.TotalBeacons) < want {
+		t.Fatalf("beacons %d below floor %v", rep.TotalBeacons, want)
+	}
+	if rep.Transport.Delivered == 0 || rep.TotalMessages == 0 {
+		t.Fatalf("no traffic: %+v", rep.Transport)
+	}
+}
+
+// TestBubbleDeterminism pins that the fake clock makes the concurrent
+// runtime a pure function of its config: two bubbles, bit-identical
+// reports (every field, including traffic counters and event counts).
+func TestBubbleDeterminism(t *testing.T) {
+	cfg := ringCfg(12, 3)
+	cfg.Driver = sim.DriverSpec{Kind: sim.DriveRandomWalk, Interval: 0.5}
+	a := runBubble(t, cfg)
+	b := runBubble(t, cfg)
+	simtest.AssertSameReport(t, "same-config bubble rerun", b, a)
+	// And a different seed genuinely changes the execution.
+	cfg.Seed++
+	simtest.AssertReportsDiffer(t, "seed change", runBubble(t, cfg), a)
+}
+
+// TestBubbleRotatingStarChurn drives the maximally dynamic topology:
+// edges churn constantly, discovery beacons fire over fresh edges, and
+// the skew still respects the churn-slack-adjusted bound.
+func TestBubbleRotatingStarChurn(t *testing.T) {
+	cfg := sim.Config{
+		N:        12,
+		Seed:     11,
+		Horizon:  8,
+		Rho:      0.01,
+		MaxDelay: 0.01,
+		Churn:    sim.ChurnSpec{Kind: sim.ChurnRotatingStar, Period: 1, Overlap: 0.25},
+	}
+	rep := runBubble(t, cfg)
+	if rep.EdgeAdds == 0 || rep.EdgeRemoves == 0 {
+		t.Fatalf("star never rotated: adds=%d removes=%d", rep.EdgeAdds, rep.EdgeRemoves)
+	}
+	if rep.TotalDiscoveries == 0 {
+		t.Fatal("no discovery beacons over fresh edges")
+	}
+	if rep.MaxGlobalSkew > rep.Bound {
+		t.Fatalf("global skew %v above churn bound %v", rep.MaxGlobalSkew, rep.Bound)
+	}
+	// Mid-flight messages over torn-down star edges are lost at delivery.
+	if rep.Transport.Delivered >= rep.Transport.Sent {
+		t.Fatalf("churn lost no messages: %+v", rep.Transport)
+	}
+}
+
+// TestBubbleFaultedRingReconverges is the rt chaos gate: inject message
+// loss, crash/recover cycles, and rate excursions for the first half of
+// the run, then require the skew to re-enter the analytic bound.
+func TestBubbleFaultedRingReconverges(t *testing.T) {
+	cfg := ringCfg(12, 5)
+	cfg.Horizon = 12
+	cfg.Faults = sim.FaultSpec{
+		Drop:               0.05,
+		CrashEvery:         3,
+		CrashDowntime:      0.5,
+		RateExcursionEvery: 4,
+	}
+	rep := runBubble(t, cfg)
+	if rep.Faults.Total() == 0 {
+		t.Fatal("fault plan injected nothing")
+	}
+	if rep.Faults.Crashes == 0 || rep.Faults.Recoveries == 0 {
+		t.Fatalf("no crash/recover cycle: %+v", rep.Faults)
+	}
+	if rep.Faults.Drops == 0 {
+		t.Fatalf("no message drops: %+v", rep.Faults)
+	}
+	if math.IsInf(rep.ReconvergenceTime, 1) {
+		t.Fatalf("skew still outside bound %v at the horizon: final %v", rep.Bound, rep.FinalGlobalSkew)
+	}
+	if rep.FinalGlobalSkew > rep.Bound {
+		t.Fatalf("final skew %v above bound %v after re-convergence window", rep.FinalGlobalSkew, rep.Bound)
+	}
+}
+
+// TestBubbleFaultedDeterminism extends the determinism guarantee to the
+// full fault machinery (per-sender verdict streams, crash chains, rate
+// excursions): faulted runs are reproducible too.
+func TestBubbleFaultedDeterminism(t *testing.T) {
+	cfg := ringCfg(10, 9)
+	cfg.Faults = sim.FaultSpec{Drop: 0.1, Dup: 0.05, DelaySpike: 0.05, CrashEvery: 4}
+	a := runBubble(t, cfg)
+	b := runBubble(t, cfg)
+	simtest.AssertSameReport(t, "faulted bubble rerun", b, a)
+	if a.Faults.Total() == 0 {
+		t.Fatal("fault plan injected nothing")
+	}
+}
+
+// TestBubbleGridBounds covers a second static topology shape (4x4 grid)
+// with the default constant driver.
+func TestBubbleGridBounds(t *testing.T) {
+	cfg := sim.Config{
+		N:        16,
+		Seed:     2,
+		Horizon:  10,
+		Rho:      0.02,
+		MaxDelay: 0.02,
+		Topology: sim.TopologySpec{Kind: sim.TopoGrid, W: 4, H: 4},
+		Driver:   sim.DriverSpec{Kind: sim.DriveRandomWalk, Interval: 1},
+	}
+	rep := runBubble(t, cfg)
+	if rep.MaxGlobalSkew > rep.Bound {
+		t.Fatalf("global skew %v above bound %v", rep.MaxGlobalSkew, rep.Bound)
+	}
+	if g1 := cfg.GradientBound(1); rep.MaxAdjacentSkew > g1 {
+		t.Fatalf("adjacent skew %v above gradient bound %v", rep.MaxAdjacentSkew, g1)
+	}
+}

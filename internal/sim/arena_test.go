@@ -1,8 +1,10 @@
 package sim
 
 import (
-	"reflect"
+	"fmt"
 	"testing"
+
+	"gcs/internal/simtest"
 )
 
 // arenaConfigs covers every stochastic subsystem the rewiring path must
@@ -43,10 +45,7 @@ func TestArenaReuseMatchesFreshRun(t *testing.T) {
 		for i, cfg := range cfgs {
 			got := a.Run(cfg)
 			want := mustRun(t, cfg)
-			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("pass %d config %d: arena run diverged from fresh run:\n  arena = %+v\n  fresh = %+v",
-					pass, i, got, want)
-			}
+			simtest.AssertSameReport(t, fmt.Sprintf("pass %d config %d: arena vs fresh", pass, i), got, want)
 			if got.EventsExecuted == 0 || got.Transport.Delivered == 0 {
 				t.Fatalf("pass %d config %d: degenerate execution: %+v", pass, i, got)
 			}
@@ -62,9 +61,7 @@ func TestArenaSeedChangeOnReuse(t *testing.T) {
 	first := a.Run(cfg)
 	cfg.Seed++
 	second := a.Run(cfg)
-	if reflect.DeepEqual(first, second) {
-		t.Fatalf("different seeds on a reused arena produced identical reports: %+v", first)
-	}
+	simtest.AssertReportsDiffer(t, "reused arena, seed change", first, second)
 }
 
 // TestArenaGrowAndShrink reuses one arena across node counts in both
@@ -79,9 +76,7 @@ func TestArenaGrowAndShrink(t *testing.T) {
 		}
 		got := a.Run(cfg)
 		want := mustRun(t, cfg)
-		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("n=%d: arena run diverged from fresh run:\n  arena = %+v\n  fresh = %+v", n, got, want)
-		}
+		simtest.AssertSameReport(t, fmt.Sprintf("n=%d: arena vs fresh", n), got, want)
 	}
 }
 
@@ -132,9 +127,10 @@ func TestArenaTraceReuse(t *testing.T) {
 	for i := 0; i < tr.Len(); i++ {
 		ta, va := tr.Sample(i)
 		tb, vb := trWant.Sample(i)
-		if ta != tb || !reflect.DeepEqual(va, vb) {
-			t.Fatalf("trace sample %d diverged", i)
+		if ta != tb {
+			t.Fatalf("trace sample %d at time %v, fresh at %v", i, ta, tb)
 		}
+		simtest.AssertSameReport(t, fmt.Sprintf("trace sample %d", i), va, vb)
 	}
 	if got.Samples != tr.Len() {
 		t.Fatalf("report counted %d samples, trace holds %d", got.Samples, tr.Len())

@@ -1,8 +1,9 @@
 package sim
 
 import (
-	"reflect"
 	"testing"
+
+	"gcs/internal/simtest"
 )
 
 // TestCoalescingEquivalence pins the semantic-preservation half of
@@ -39,10 +40,7 @@ func TestCoalescingEquivalence(t *testing.T) {
 			plain := tc.cfg
 			plain.NoCoalesce = true
 			uncoalesced := mustRun(t, plain)
-			if !reflect.DeepEqual(coalesced, uncoalesced) {
-				t.Fatalf("coalesced run diverged from uncoalesced:\n  coalesced   = %+v\n  uncoalesced = %+v",
-					coalesced, uncoalesced)
-			}
+			simtest.AssertSameReport(t, "coalesced vs uncoalesced", coalesced, uncoalesced)
 			if coalesced.Transport.Coalesced != 0 {
 				t.Fatalf("static %s run formed %d multi-value batches; equivalence case must be all singletons",
 					tc.name, coalesced.Transport.Coalesced)

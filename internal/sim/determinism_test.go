@@ -1,8 +1,9 @@
 package sim
 
 import (
-	"reflect"
 	"testing"
+
+	"gcs/internal/simtest"
 )
 
 // churnyConfig exercises every stochastic subsystem at once: seeded
@@ -29,9 +30,7 @@ func churnyConfig(seed uint64) Config {
 func TestSameSeedSameExecution(t *testing.T) {
 	a := mustRun(t, churnyConfig(42))
 	b := mustRun(t, churnyConfig(42))
-	if !reflect.DeepEqual(a, b) {
-		t.Fatalf("same config diverged:\n  a = %+v\n  b = %+v", a, b)
-	}
+	simtest.AssertSameReport(t, "same-seed rerun", b, a)
 	if a.EventsExecuted == 0 || a.Transport.Delivered == 0 {
 		t.Fatalf("degenerate execution: %+v", a)
 	}
@@ -45,7 +44,5 @@ func TestDifferentSeedDifferentExecution(t *testing.T) {
 	b := mustRun(t, churnyConfig(2))
 	// Seeds drive delays, churn, drift, and beacon phases; two executions
 	// agreeing on every counter would mean the seed is ignored.
-	if reflect.DeepEqual(a, b) {
-		t.Fatalf("different seeds produced identical reports: %+v", a)
-	}
+	simtest.AssertReportsDiffer(t, "seed 1 vs seed 2", a, b)
 }

@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
+
+	"gcs/internal/simtest"
 )
 
 // faultedChurnConfig layers every fault kind on top of the maximally
@@ -91,9 +94,7 @@ func TestRunSweepRejectsMalformedCell(t *testing.T) {
 func TestFaultedRunDeterministic(t *testing.T) {
 	a := mustRun(t, faultedChurnConfig(42))
 	b := mustRun(t, faultedChurnConfig(42))
-	if !reflect.DeepEqual(a, b) {
-		t.Fatalf("same faulted config diverged:\n  a = %+v\n  b = %+v", a, b)
-	}
+	simtest.AssertSameReport(t, "same-seed faulted rerun", b, a)
 	fs := a.Faults
 	if fs.Drops == 0 || fs.Dups == 0 || fs.DelaySpikes == 0 ||
 		fs.Crashes == 0 || fs.Recoveries == 0 || fs.RateExcursions == 0 {
@@ -102,9 +103,7 @@ func TestFaultedRunDeterministic(t *testing.T) {
 	if math.IsInf(a.ReconvergenceTime, 1) {
 		t.Fatal("faulted run never re-converged")
 	}
-	if c := mustRun(t, faultedChurnConfig(43)); reflect.DeepEqual(a, c) {
-		t.Fatal("different seeds produced identical faulted reports")
-	}
+	simtest.AssertReportsDiffer(t, "faulted seed 42 vs 43", a, mustRun(t, faultedChurnConfig(43)))
 	// The plan steers the execution: the same seed without faults must
 	// differ, and must report zero fault stats.
 	plain := mustRun(t, churnyConfig(42))
@@ -124,9 +123,7 @@ func TestFaultSpecUntilOnlyIsInert(t *testing.T) {
 	want := mustRun(t, churnyConfig(7))
 	armed := churnyConfig(7)
 	armed.Faults = FaultSpec{Until: 1}
-	if got := mustRun(t, armed); !reflect.DeepEqual(got, want) {
-		t.Fatalf("armed-but-empty plan perturbed the run:\n got %+v\nwant %+v", got, want)
-	}
+	simtest.AssertSameReport(t, "armed-but-empty plan vs unfaulted", mustRun(t, armed), want)
 }
 
 // TestFaultedParallelWorkerInvariance extends the parallel determinism
@@ -146,10 +143,38 @@ func TestFaultedParallelWorkerInvariance(t *testing.T) {
 	for _, workers := range []int{2, 4} {
 		cfg := base
 		cfg.Workers = workers
-		if got := mustRun(t, cfg); !reflect.DeepEqual(got, want) {
-			t.Fatalf("workers=%d diverged from serial reference:\n got %+v\nwant %+v",
-				workers, got, want)
-		}
+		got := mustRun(t, cfg)
+		simtest.AssertSameReport(t, fmt.Sprintf("faulted workers=%d vs serial reference", workers), got, want)
+	}
+}
+
+// TestParallelRecoverMidWindowWorkerInvariance pins the parallel
+// engine's handling of a crash/recover cycle landing entirely inside one
+// conservative window: the downtime is shorter than the MinDelay
+// lookahead, so a node crashes, recovers, and emits its rejoin beacon
+// within a single window, and the report must still be worker-invariant
+// with the full cycle accounted.
+func TestParallelRecoverMidWindowWorkerInvariance(t *testing.T) {
+	base := parallelRingConfig(64, 4)
+	base.Faults = FaultSpec{CrashEvery: 1.5, CrashDowntime: 0.001}
+	if eff := base.WithDefaults(); base.Faults.CrashDowntime >= eff.MinDelay {
+		t.Fatalf("premise broken: downtime %v not inside the %v lookahead window",
+			base.Faults.CrashDowntime, eff.MinDelay)
+	}
+	ref := base
+	ref.Workers = 1
+	want := mustRun(t, ref)
+	if want.Faults.Crashes == 0 || want.Faults.Recoveries == 0 {
+		t.Fatalf("no crash/recover cycle fired: %+v", want.Faults)
+	}
+	if want.Faults.Crashes != want.Faults.Recoveries {
+		t.Fatalf("sub-window downtimes must all recover before the horizon: %+v", want.Faults)
+	}
+	for _, workers := range []int{2, 4} {
+		cfg := base
+		cfg.Workers = workers
+		got := mustRun(t, cfg)
+		simtest.AssertSameReport(t, fmt.Sprintf("mid-window recovery workers=%d vs serial", workers), got, want)
 	}
 }
 
@@ -163,12 +188,9 @@ func TestFaultedArenaReuse(t *testing.T) {
 	wantP := mustRun(t, plain)
 	a := NewArena()
 	for i := 0; i < 2; i++ {
-		if got := a.Run(faulted); !reflect.DeepEqual(got, wantF) {
-			t.Fatalf("arena faulted run %d diverged from fresh run", i)
-		}
-		if got := a.Run(plain); !reflect.DeepEqual(got, wantP) {
-			t.Fatalf("arena unfaulted run %d diverged (fault pools leaked)", i)
-		}
+		simtest.AssertSameReport(t, fmt.Sprintf("arena faulted run %d vs fresh", i), a.Run(faulted), wantF)
+		simtest.AssertSameReport(t, fmt.Sprintf("arena unfaulted run %d vs fresh (fault pools must not leak)", i),
+			a.Run(plain), wantP)
 	}
 }
 

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzConfigValidate fuzzes the harness-boundary contract: Validate
+// must classify every input without panicking, and any config it
+// accepts must survive the full derived-value surface — WithDefaults,
+// both analytic bounds, and a defaulted re-validation — with sane
+// results. This is the boundary a long-running sweep service trusts
+// to reject arbitrary job payloads.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(16, uint64(1), 10.0, 0.01, 0.01, 0.0, int(TopoRing), 4, 4, int(DriveBangBang), 1.0, int(ChurnNone), 2.0, 0.5, false, 0, 0)
+	f.Add(12, uint64(7), 8.0, 0.02, 0.05, 0.01, int(TopoGrid), 3, 4, int(DriveRandomWalk), 0.5, int(ChurnRotatingStar), 1.0, 0.25, true, 4, 2)
+	f.Add(0, uint64(0), -1.0, 1.5, -0.5, 0.2, 99, 0, 0, 99, 0.0, 99, 0.0, 0.0, false, -3, -1)
+	f.Add(5, uint64(3), 6.0, 0.1, 0.02, 0.0, int(TopoComplete), 0, 0, int(DriveConstant), 0.0, int(ChurnVolatile), 1.5, 1.0, false, 0, 8)
+	f.Fuzz(func(t *testing.T, n int, seed uint64, horizon, rho, maxDelay, minDelay float64,
+		topo, w, h, driver int, interval float64, churn int, period, overlap float64,
+		parallel bool, shards, extra int) {
+		cfg := Config{
+			N:        n,
+			Seed:     seed,
+			Horizon:  horizon,
+			Rho:      rho,
+			MaxDelay: maxDelay,
+			MinDelay: minDelay,
+			Topology: TopologySpec{Kind: TopologyKind(topo), W: w, H: h},
+			Driver:   DriverSpec{Kind: DriverKind(driver), Interval: interval},
+			Churn: ChurnSpec{
+				Kind: ChurnKind(churn), Period: period, Overlap: overlap,
+				Lifetime: period, Absence: overlap, ExtraEdges: extra,
+			},
+			Parallel: parallel,
+			Shards:   shards,
+		}
+		err := cfg.Validate()
+		if err != nil {
+			return
+		}
+		// Accepted configs must be fully usable without panics.
+		d := cfg.WithDefaults()
+		if again := d.Validate(); again != nil {
+			t.Fatalf("defaulted form of an accepted config rejected: %v\ncfg: %+v", again, cfg)
+		}
+		if b := cfg.GlobalSkewBound(); math.IsNaN(b) || b < 0 {
+			t.Fatalf("GlobalSkewBound = %v for accepted config %+v", b, cfg)
+		}
+		if g := cfg.GradientBound(1); math.IsNaN(g) || g < 0 {
+			t.Fatalf("GradientBound(1) = %v for accepted config %+v", g, cfg)
+		}
+		if cfg.GradientBound(0) != 0 || cfg.GradientBound(-1) != 0 {
+			t.Fatal("GradientBound must be 0 at nonpositive distance")
+		}
+		// The gradient bound is monotone in distance.
+		if cfg.GradientBound(2) < cfg.GradientBound(1) {
+			t.Fatalf("gradient bound not monotone: d1=%v d2=%v", cfg.GradientBound(1), cfg.GradientBound(2))
+		}
+	})
+}

@@ -236,6 +236,29 @@ func (sh *pshard) unicast(from, to int, value float64) bool {
 	return true
 }
 
+// psender and ptopo are the parallel engine's seam implementations:
+// sends route to the sending node's shard (each node only ever sends
+// from its own shard's window, so shard-local state stays single-
+// threaded), and neighbor scans read the shared graph — which global
+// phases alone mutate, so window-time reads are race-free. Both
+// indirect through the ParallelSim because build() wires nodes before
+// the Graph exists (wire() resets it afterwards).
+type psender struct{ ps *ParallelSim }
+
+func (p psender) Broadcast(from int, value float64) int {
+	return p.ps.shardFor(from).broadcast(from, value)
+}
+
+func (p psender) Send(from, to int, value float64) bool {
+	return p.ps.shardFor(from).unicast(from, to, value)
+}
+
+type ptopo struct{ ps *ParallelSim }
+
+func (p ptopo) AppendNeighbors(u int, buf []int) []int {
+	return p.ps.Graph.AppendNeighbors(u, buf)
+}
+
 func (sh *pshard) reset() {
 	sh.flights = sh.flights[:0]
 	sh.free = sh.free[:0]
@@ -482,12 +505,8 @@ func (ps *ParallelSim) build(cfg Config) {
 	ps.drivers = make([]*pdriver, cfg.N)
 	ps.delayRands = make([]des.Rand, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		i := i
 		hw := clock.New(ps.P.Shard(int(ps.shardOf[i])), 1)
-		nd := gcs.New(i, hw, cfg.Node,
-			func(v float64) int { return ps.shardFor(i).broadcast(i, v) },
-			func(buf []int) []int { return ps.Graph.AppendNeighbors(i, buf) })
-		nd.SetUnicast(func(to int, v float64) bool { return ps.shardFor(i).unicast(i, to, v) })
+		nd := gcs.New(i, hw, cfg.Node, psender{ps}, ptopo{ps})
 		ps.Clocks[i] = hw
 		ps.Nodes[i] = nd
 		ps.drivers[i] = newPDriver(ps, i, hw)

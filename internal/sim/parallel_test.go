@@ -1,10 +1,11 @@
 package sim
 
 import (
-	"reflect"
+	"fmt"
 	"testing"
 
 	"gcs/internal/dyngraph"
+	"gcs/internal/simtest"
 )
 
 func parallelRingConfig(n, shards int) Config {
@@ -48,10 +49,8 @@ func TestParallelSimWorkerInvariance(t *testing.T) {
 			for _, workers := range []int{2, 4} {
 				cfg := base
 				cfg.Workers = workers
-				if got := mustRun(t, cfg); !reflect.DeepEqual(got, want) {
-					t.Fatalf("workers=%d diverged from serial reference:\n got %+v\nwant %+v",
-						workers, got, want)
-				}
+				got := mustRun(t, cfg)
+				simtest.AssertSameReport(t, fmt.Sprintf("workers=%d vs serial reference", workers), got, want)
 			}
 		})
 	}
@@ -63,9 +62,7 @@ func TestParallelSimWorkerInvariance(t *testing.T) {
 func TestParallelSimSeedSensitivity(t *testing.T) {
 	cfg := parallelRingConfig(64, 4)
 	first := mustRun(t, cfg)
-	if again := mustRun(t, cfg); !reflect.DeepEqual(first, again) {
-		t.Fatal("same config produced different reports")
-	}
+	simtest.AssertSameReport(t, "same-config rerun", mustRun(t, cfg), first)
 	other := cfg
 	other.Seed = 99
 	if got := mustRun(t, other); got.MaxGlobalSkew == first.MaxGlobalSkew &&
@@ -83,15 +80,9 @@ func TestParallelSimArenaReuse(t *testing.T) {
 	cfgB := parallelRingConfig(96, 6)
 	want := mustRun(t, cfgA)
 	a := NewArena()
-	if got := a.Run(cfgA); !reflect.DeepEqual(got, want) {
-		t.Fatal("arena first run diverged from fresh run")
-	}
-	if got := a.Run(cfgB); !reflect.DeepEqual(got, mustRun(t, cfgB)) {
-		t.Fatal("arena shape-change run diverged from fresh run")
-	}
-	if got := a.Run(cfgA); !reflect.DeepEqual(got, want) {
-		t.Fatal("arena re-run after shape change diverged from fresh run")
-	}
+	simtest.AssertSameReport(t, "arena first run vs fresh", a.Run(cfgA), want)
+	simtest.AssertSameReport(t, "arena shape-change run vs fresh", a.Run(cfgB), mustRun(t, cfgB))
+	simtest.AssertSameReport(t, "arena re-run after shape change vs fresh", a.Run(cfgA), want)
 }
 
 // TestParallelSimPhysics sanity-checks the parallel execution as a

@@ -309,15 +309,14 @@ func (s *Simulation) wire(cfg Config) {
 	s.Net.SetCoalescing(!cfg.NoCoalesce)
 
 	// Grow the node/clock/driver pools up to cfg.N, then reset the live
-	// prefix. The per-node wiring closures are created once, at pool
-	// growth; they read s.Net/s.Graph through the (stable) Simulation.
+	// prefix. Nodes are wired straight to the (stable) Network and
+	// Dynamic graph through the harness seam — transport.Network is the
+	// seam.Sender and dyngraph.Dynamic the seam.Topology, with no
+	// per-node adapter closures.
 	for len(s.allClocks) < cfg.N {
 		i := len(s.allClocks)
 		hw := clock.New(s.Engine, 1)
-		nd := gcs.New(i, hw, cfg.Node,
-			func(v float64) int { return s.Net.Broadcast(i, v) },
-			func(buf []int) []int { return s.Graph.AppendNeighbors(i, buf) })
-		nd.SetUnicast(func(to int, v float64) bool { return s.Net.Send(i, to, v) })
+		nd := gcs.New(i, hw, cfg.Node, s.Net, s.Graph)
 		s.allClocks = append(s.allClocks, hw)
 		s.allNodes = append(s.allNodes, nd)
 		s.allDrivers = append(s.allDrivers, newDriverState(s, hw))

@@ -1,0 +1,8 @@
+package transport
+
+import "gcs/internal/seam"
+
+// Network is the DES-side seam.Sender: gcs nodes broadcast beacons and
+// unicast discovery values through it without importing this package.
+// The signature match is deliberate — Broadcast/Send ARE the seam.
+var _ seam.Sender = (*Network)(nil)
