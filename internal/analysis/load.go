@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Offline package loading. The module has no dependency on
+// golang.org/x/tools/go/packages, so the standalone gcslint driver and
+// the fixture runner load packages the way cmd/go itself does: `go list
+// -deps -export -json` yields, for every package in the transitive
+// closure, the source file list and a build-cache path to compiled
+// export data; importer.ForCompiler("gc") then resolves imports from
+// those files while we parse and type-check the target package from
+// source. No network, no GOPATH pkg dirs — just the build cache the
+// toolchain already maintains.
+
+// ListedPackage is the subset of cmd/go's -json output the loader needs.
+type ListedPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// GoList runs `go list -deps -export -json patterns...` in dir and
+// returns every listed package keyed by import path, plus the root
+// (non-dep) import paths in listing order.
+func GoList(dir string, patterns ...string) (map[string]*ListedPackage, []string, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, nil, err
+	}
+	pkgs := map[string]*ListedPackage{}
+	var roots []string
+	dec := json.NewDecoder(out)
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs[p.ImportPath] = &p
+		if !p.DepOnly {
+			roots = append(roots, p.ImportPath)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return pkgs, roots, nil
+}
+
+// ExportImporter returns a types.Importer that resolves import paths
+// via the given map of import path -> export data file (as produced by
+// GoList or a vet.cfg's PackageFile table). importMap rewrites source-
+// level paths to canonical ones (vendoring; empty is fine).
+func ExportImporter(fset *token.FileSet, importMap, exportFiles map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if c, ok := importMap[path]; ok {
+			path = c
+		}
+		f, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// ParseAndCheck parses the named files (ParseComments on — the
+// directives live in comments) and type-checks them as package
+// importPath, resolving imports through imp. Returns the syntax, the
+// package, and a fully populated types.Info.
+func ParseAndCheck(fset *token.FileSet, imp types.Importer, importPath string, filenames []string) ([]*ast.File, *types.Package, *types.Info, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(importPath, fset, files, info)
+	if firstErr != nil {
+		return files, pkg, info, fmt.Errorf("type-checking %s: %v", importPath, firstErr)
+	}
+	return files, pkg, info, nil
+}
+
+// LintPackages is the standalone driver: it loads the packages matching
+// patterns (relative to dir), runs the suite on every in-module root,
+// and returns the surfaced diagnostics.
+func LintPackages(dir string, patterns ...string) ([]Diagnostic, error) {
+	pkgs, roots, err := GoList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for path, p := range pkgs {
+		if p.Export != "" {
+			exports[path] = p.Export
+		}
+	}
+	var diags []Diagnostic
+	for _, root := range roots {
+		p := pkgs[root]
+		if p.Standard || len(p.GoFiles) == 0 || p.Error != nil {
+			continue
+		}
+		if !anyRuleApplies(p.ImportPath) {
+			continue
+		}
+		fset := token.NewFileSet()
+		imp := ExportImporter(fset, nil, exports)
+		var filenames []string
+		for _, g := range p.GoFiles {
+			filenames = append(filenames, filepath.Join(p.Dir, g))
+		}
+		files, pkg, info, err := ParseAndCheck(fset, imp, p.ImportPath, filenames)
+		if err != nil {
+			return diags, err
+		}
+		diags = append(diags, RunAnalyzers(fset, files, pkg, info)...)
+	}
+	return diags, nil
+}
+
+func anyRuleApplies(pkgPath string) bool {
+	for _, a := range Analyzers {
+		if appliesTo(a, pkgPath) {
+			return true
+		}
+	}
+	return false
+}

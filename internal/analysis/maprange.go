@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// Maprange flags `for ... range m` over a map in the deterministic
+// packages (and the CLI, whose tables are byte-diffed by the
+// worker-invariance smokes) unless the iteration is provably
+// order-laundered: the enclosing function sorts after the loop, or the
+// site carries //gcslint:allow maprange with a stated reason
+// (order-independent aggregation like min/max/sum, or bulk clear).
+//
+// Go randomizes map iteration order on purpose; any map range whose
+// visit order can reach a report, a printed table, or an event schedule
+// is a reproducibility bug that strikes only occasionally — the worst
+// kind. The sanctioned patterns are: collect keys, sort, then index; or
+// aggregate with an order-independent fold and annotate the site.
+//
+// The sort-after escape is syntactic: a call in the same function,
+// positioned after the range statement, to anything in package sort or
+// slices, or to a callee whose name contains "sort" (covering local
+// helpers like dyngraph's sortEdges).
+var Maprange = &Analyzer{
+	Name: "maprange",
+	Doc:  "map ranges whose values can reach reports must sort keys first or be annotated order-independent",
+	Run:  runMaprange,
+}
+
+var sortNameRe = regexp.MustCompile(`(?i)sort`)
+
+func runMaprange(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkMapRanges(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Nested functions get their own visit from runMaprange; a sort
+		// inside a closure does not launder the enclosing loop (and vice
+		// versa), so keep the scopes separate.
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sortCallAfter(pass, body, rng) {
+			return true
+		}
+		pass.Reportf(rng.Pos(), "map range order is randomized: sort the keys first, or annotate //gcslint:allow maprange with why the fold is order-independent")
+		return true
+	})
+}
+
+// sortCallAfter reports whether the function body contains, after the
+// range statement, a call to package sort/slices or to a callee whose
+// name mentions sort.
+func sortCallAfter(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := fun.X.(*ast.Ident); ok {
+				if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+					p := pn.Imported().Path()
+					if p == "sort" || p == "slices" {
+						found = true
+						return false
+					}
+				}
+			}
+			if sortNameRe.MatchString(fun.Sel.Name) {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if sortNameRe.MatchString(fun.Name) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Seampurity seals the PR 8 harness seam: internal/gcs — the algorithm
+// itself — may import only internal/seam plus non-temporal stdlib. The
+// whole point of the seam is that the identical node code runs under
+// the DES harness and the real-time runtime; a direct import of clock,
+// transport, dyngraph, or time re-couples the algorithm to one harness
+// and the cross-validation suite stops meaning anything. The rule is a
+// one-screen import check precisely because the invariant is structural:
+// it either holds for the import graph or it does not.
+var Seampurity = &Analyzer{
+	Name: "seampurity",
+	Doc:  "internal/gcs may import only internal/seam and non-temporal stdlib",
+	Run:  runSeampurity,
+}
+
+func runSeampurity(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch {
+			case path == seamAllowedImport:
+			case strings.HasPrefix(path, modulePathPrefix) || path == "gcs":
+				pass.Reportf(imp.Pos(), "gcs reaches around the harness seam: import %s (only %s is allowed; widen the seam interfaces instead)", path, seamAllowedImport)
+			case path == "time":
+				pass.Reportf(imp.Pos(), "gcs imports time: the node must read time only through seam.Clock")
+			}
+			// math/rand is already covered by the nondeterminism rule,
+			// which also binds this package.
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Fixture for the maprange rule, type-checked as gcs/internal/dyngraph.
+package dyngraph
+
+import "sort"
+
+type edge struct{ u, v int }
+
+// valuesUnsorted lets map iteration order reach the returned slice: the
+// canonical reproducibility bug.
+func valuesUnsorted(m map[int]string) []string {
+	out := make([]string, 0, len(m))
+	for _, v := range m { // want "map range order is randomized"
+		out = append(out, v)
+	}
+	return out
+}
+
+// keysSorted is the sanctioned pattern: collect, then sort.
+func keysSorted(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// edgesSorted launders order through a local helper; the rule
+// recognizes sort-named callees, matching dyngraph's own sortEdges.
+func edgesSorted(m map[edge]bool) []edge {
+	out := make([]edge, 0, len(m))
+	for e := range m {
+		out = append(out, e)
+	}
+	sortEdges(out)
+	return out
+}
+
+func sortEdges(es []edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].u != es[j].u {
+			return es[i].u < es[j].u
+		}
+		return es[i].v < es[j].v
+	})
+}
+
+// maxVal is an order-independent fold, annotated as such: suppressed
+// but still visible to audit mode.
+func maxVal(m map[int]int) int {
+	best := 0
+	for _, v := range m { //gcslint:allow maprange — max is order-independent // want:allowed "map range order"
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// sliceRange: ranging a slice is ordered and never flagged.
+func sliceRange(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,36 @@
+// Fixture for the nondeterminism rule, type-checked as a deterministic
+// package (gcs/internal/sim).
+package sim
+
+import (
+	"math/rand" // want "deterministic package imports math/rand"
+	"time"
+)
+
+// wallReads collects the three forbidden wall-clock entry points.
+func wallReads() time.Duration {
+	t0 := time.Now()    // want "reads the wall clock via time.Now"
+	d := time.Since(t0) // want "reads the wall clock via time.Since"
+	_ = time.Until(t0)  // want "reads the wall clock via time.Until"
+	return d
+}
+
+// seeded draws from an explicitly seeded source: the import itself is
+// the finding (flagged above); the calls are not flagged twice.
+func seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Int()
+}
+
+// durations is the negative case: time.Duration arithmetic and
+// constants never read the wall clock and pass untouched.
+func durations(d time.Duration) time.Duration {
+	return 2*d + 50*time.Millisecond
+}
+
+// banner is the escape hatch: a by-design wall read, suppressed per
+// site with a stated reason. The finding is still produced (audit mode
+// sees it) but not surfaced.
+func banner() time.Time {
+	return time.Now() //gcslint:allow nondeterminism — log banner only // want:allowed "reads the wall clock via time.Now"
+}

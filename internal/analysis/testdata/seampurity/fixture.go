@@ -1,0 +1,19 @@
+// Fixture for the seampurity rule, type-checked as the algorithm
+// package (gcs/internal/gcs): only gcs/internal/seam and non-temporal
+// stdlib may be imported.
+package gcs
+
+import (
+	"fmt"
+
+	"gcs/internal/seam"
+
+	_ "gcs/internal/clock" // want "reaches around the harness seam"
+	_ "time"               // want "gcs imports time"
+)
+
+// describe uses the sanctioned imports: the seam interface and plain
+// stdlib.
+func describe(c seam.Clock) string {
+	return fmt.Sprintf("clock at %.3f", c.Now())
+}

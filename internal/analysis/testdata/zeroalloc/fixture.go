@@ -1,0 +1,109 @@
+// Fixture for the zeroalloc rule, type-checked as gcs/internal/des.
+// Only functions carrying the //gcslint:zeroalloc directive are under
+// the contract; everything else may allocate freely.
+package des
+
+import "fmt"
+
+type engine struct {
+	heap []int
+	free []int
+}
+
+var pool []int
+
+func sink(v interface{}) { _ = v }
+
+// push mirrors the real schedule path: appends rooted at the receiver
+// amortize into the arena, and panic arguments are cold by definition.
+//
+//gcslint:zeroalloc
+func (en *engine) push(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("push: negative key %d", v))
+	}
+	en.heap = append(en.heap, v)
+	pool = append(pool, v)
+}
+
+// aliasOK roots an append through a local alias of receiver state, the
+// `f := &n.flights[fi]` pattern from the transport arena.
+//
+//gcslint:zeroalloc
+func (en *engine) aliasOK(v int) {
+	h := &en.heap
+	*h = append(*h, v)
+}
+
+// growLocal appends onto a function-local slice: per-call garbage.
+//
+//gcslint:zeroalloc
+func growLocal(v int) []int {
+	out := []int{}
+	out = append(out, v) // want "appends to a function-local slice"
+	return out
+}
+
+// closureCapture builds a closure over its parameter.
+//
+//gcslint:zeroalloc
+func closureCapture(v int) func() int {
+	return func() int { return v } // want "capturing closure"
+}
+
+// argBox passes a scalar where an interface is expected.
+//
+//gcslint:zeroalloc
+func argBox(v int) {
+	sink(v) // want "boxes int into"
+}
+
+// pointerOK: pointers fit the interface word without allocating.
+//
+//gcslint:zeroalloc
+func pointerOK(en *engine) {
+	sink(en)
+}
+
+// assignBox boxes through an assignment.
+//
+//gcslint:zeroalloc
+func assignBox(v int) {
+	var x interface{}
+	x = v // want "boxes int into"
+	_ = x
+}
+
+// retBox boxes at the return boundary.
+//
+//gcslint:zeroalloc
+func retBox(v int) interface{} {
+	return v // want "boxes int into returned"
+}
+
+// concat builds a fresh string every call.
+//
+//gcslint:zeroalloc
+func concat(a, b string) string {
+	return a + b // want "concatenates strings"
+}
+
+// unannotated is the negative control: same constructs, no directive,
+// no findings.
+func unannotated(v int) []int {
+	out := []int{}
+	out = append(out, v)
+	sink(v)
+	return out
+}
+
+// coldDebug uses the per-site escape for a reviewed exception.
+//
+//gcslint:zeroalloc
+func coldDebug(v int) {
+	if v == -1 {
+		dbg := []int{}
+		dbg = append(dbg, v) //gcslint:allow zeroalloc — unreachable outside -debug builds // want:allowed "function-local slice"
+		sink(&dbg)
+	}
+}

@@ -1,0 +1,341 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Zeroalloc enforces the O(1)-allocation hot-path contract on functions
+// annotated //gcslint:zeroalloc (the DES schedule path, the transport
+// flight arena, the gradient checker's sample loop). The regression
+// pins (testing.AllocsPerRun, the bench gate's allocs/op axis) catch a
+// violation only for the configs they run; this rule catches the
+// constructs themselves, at compile time:
+//
+//   - capturing closures: a func literal that references variables of
+//     the enclosing function heap-allocates both closure and captures;
+//   - interface boxing: passing, assigning, or returning a concrete
+//     non-pointer value where an interface is expected allocates the
+//     boxed copy (pointers and interface-to-interface are free and
+//     exempt, as is anything inside a panic(...) argument — panics are
+//     cold by definition);
+//   - append onto a function-local slice: growth the caller can never
+//     amortize. Appends rooted at parameters, the receiver, or
+//     package-level state (pooled arenas, reused buffers) are the
+//     sanctioned pattern and pass;
+//   - string concatenation, which always builds a fresh string.
+//
+// The annotation goes on the function's doc comment. Pool-growth
+// escapes (new(T)/&T{}/make inside an arena grow path) are deliberately
+// NOT flagged: amortized growth is the design, per-call garbage is the
+// bug.
+var Zeroalloc = &Analyzer{
+	Name: "zeroalloc",
+	Doc:  "functions annotated //gcslint:zeroalloc must avoid capturing closures, interface boxing, local-slice appends, and string concatenation",
+	Run:  runZeroalloc,
+}
+
+const zeroallocDirective = "//gcslint:zeroalloc"
+
+func runZeroalloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, zeroallocDirective) {
+				continue
+			}
+			checkZeroalloc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive {
+			return true
+		}
+	}
+	return false
+}
+
+func checkZeroalloc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	fnScope := funcScope(pass, fn)
+	coldNodes := panicArgNodes(fn.Body)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if coldNodes[n] {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			if captured := capturedVars(pass, e, fnScope); len(captured) > 0 {
+				pass.Reportf(e.Pos(), "zeroalloc function builds a capturing closure (captures %s); use an ArgHandler-style fixed callback", captured[0])
+			}
+			// Do not descend: the literal runs later, on its own budget.
+			return false
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isString(info.TypeOf(e)) {
+				pass.Reportf(e.Pos(), "zeroalloc function concatenates strings")
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && isString(info.TypeOf(e.Lhs[0])) {
+				pass.Reportf(e.Pos(), "zeroalloc function concatenates strings")
+			}
+			checkBoxedAssign(pass, e)
+		case *ast.CallExpr:
+			checkCall(pass, fn, e)
+		case *ast.ReturnStmt:
+			checkBoxedReturn(pass, fn, e)
+		}
+		return true
+	})
+}
+
+// panicArgNodes marks every node inside a panic(...) argument: the cold
+// path, exempt from the boxing check (fmt.Sprintf into a panic is fine).
+func panicArgNodes(body *ast.BlockStmt) map[ast.Node]bool {
+	cold := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			for _, arg := range call.Args {
+				cold[arg] = true
+			}
+		}
+		return true
+	})
+	return cold
+}
+
+// funcScope returns the scope of fn's body, for capture detection.
+func funcScope(pass *Pass, fn *ast.FuncDecl) *types.Scope {
+	if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+		return obj.Scope()
+	}
+	return nil
+}
+
+// capturedVars lists variables the literal references that are declared
+// in the enclosing function (between its scope and the literal's own).
+func capturedVars(pass *Pass, lit *ast.FuncLit, enclosing *types.Scope) []string {
+	if enclosing == nil {
+		return nil
+	}
+	var captured []string
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but outside
+		// the literal (position-wise before the literal's body).
+		if enclosing.Contains(v.Pos()) && !(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			seen[v] = true
+			captured = append(captured, v.Name())
+		}
+		return true
+	})
+	return captured
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// boxes reports whether assigning a value of type src where dst is
+// expected heap-allocates: dst is an interface and src is a concrete
+// non-pointer type (pointers fit the interface word; nil and interfaces
+// convert for free).
+func boxes(dst, src types.Type) bool {
+	if !isInterface(dst) || src == nil || isInterface(src) {
+		return false
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Map, *types.Chan:
+		return false
+	case *types.Basic:
+		if src.Underlying().(*types.Basic).Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	return true
+}
+
+func checkBoxedAssign(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		dst := pass.TypesInfo.TypeOf(as.Lhs[i])
+		src := pass.TypesInfo.TypeOf(as.Rhs[i])
+		if boxes(dst, src) {
+			pass.Reportf(as.Rhs[i].Pos(), "zeroalloc function boxes %s into %s", src, dst)
+		}
+	}
+}
+
+func checkBoxedReturn(pass *Pass, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	sig, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := sig.Type().(*types.Signature).Results()
+	if results.Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		if boxes(results.At(i).Type(), pass.TypesInfo.TypeOf(r)) {
+			pass.Reportf(r.Pos(), "zeroalloc function boxes %s into returned %s", pass.TypesInfo.TypeOf(r), results.At(i).Type())
+		}
+	}
+}
+
+func checkCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	// Builtins: append(root, ...) must grow a slice rooted at a
+	// parameter, the receiver, or package-level state; other builtins
+	// (len, cap, copy, panic — whose own any-arg is cold by definition)
+	// are alloc-free at the call site and skipped.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			if b.Name() == "append" && len(call.Args) > 0 && !rootedOutsideFrame(pass, fn, call.Args[0]) {
+				pass.Reportf(call.Pos(), "zeroalloc function appends to a function-local slice (growth the caller cannot amortize); append to a parameter, receiver field, or pooled arena")
+			}
+			return
+		}
+	}
+	// Interface boxing at call boundaries (fmt-style interface params,
+	// any(..) conversions).
+	tv, ok := info.Types[call.Fun]
+	if ok && tv.IsType() {
+		if boxes(tv.Type, info.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "zeroalloc function boxes %s into %s", info.TypeOf(call.Args[0]), tv.Type)
+		}
+		return
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxes(pt, info.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "zeroalloc function boxes %s into %s parameter", info.TypeOf(arg), pt)
+		}
+	}
+}
+
+// rootedOutsideFrame reports whether expr ultimately refers to storage
+// that outlives the call frame: a parameter, the receiver, a package-
+// level variable, or a chain of selectors/indexes/slices off one. A
+// local variable qualifies when its declaration initializer is itself
+// rooted outside the frame (e.g. `sl := &n.slots[i]`).
+func rootedOutsideFrame(pass *Pass, fn *ast.FuncDecl, expr ast.Expr) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		case *ast.Ident:
+			v, ok := pass.TypesInfo.Uses[e].(*types.Var)
+			if !ok {
+				return false
+			}
+			if v.Parent() == pass.Pkg.Scope() {
+				return true // package-level state (a pool)
+			}
+			if isParamOrReceiver(pass, fn, v) {
+				return true
+			}
+			init := localInitializer(pass, fn, v)
+			if init == nil {
+				return false
+			}
+			expr = init
+		default:
+			return false
+		}
+	}
+}
+
+func isParamOrReceiver(pass *Pass, fn *ast.FuncDecl, v *types.Var) bool {
+	sig, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	st := sig.Type().(*types.Signature)
+	if r := st.Recv(); r != nil && r == v {
+		return true
+	}
+	for i := 0; i < st.Params().Len(); i++ {
+		if st.Params().At(i) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// localInitializer finds the := initializer of a local variable inside
+// fn, so root resolution can follow `f := &n.flights[fi]` chains.
+func localInitializer(pass *Pass, fn *ast.FuncDecl, v *types.Var) ast.Expr {
+	var init ast.Expr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.Defs[id] == v {
+				init = as.Rhs[i]
+				return false
+			}
+		}
+		return true
+	})
+	return init
+}

@@ -155,6 +155,8 @@ func (en *Engine) PoolSize() int { return len(en.free) }
 // that can be cancelled. Scheduling in the past (t < Now) panics: the
 // network model has no retroactive events, so this is always a bug in the
 // caller.
+//
+//gcslint:zeroalloc
 func (en *Engine) Schedule(t Time, label string, fn Handler) EventRef {
 	e := en.schedule(t, label)
 	e.fn = fn
@@ -164,6 +166,8 @@ func (en *Engine) Schedule(t Time, label string, fn Handler) EventRef {
 // ScheduleArg registers fn(arg) to run at absolute time t. It is the
 // zero-allocation counterpart of Schedule for callers that would
 // otherwise close over per-event state.
+//
+//gcslint:zeroalloc
 func (en *Engine) ScheduleArg(t Time, label string, fn ArgHandler, arg uint64) EventRef {
 	e := en.schedule(t, label)
 	e.afn = fn
@@ -171,6 +175,7 @@ func (en *Engine) ScheduleArg(t Time, label string, fn ArgHandler, arg uint64) E
 	return EventRef{e: e, gen: e.gen}
 }
 
+//gcslint:zeroalloc
 func (en *Engine) schedule(t Time, label string) *Event {
 	if math.IsNaN(t) {
 		panic("des: schedule at NaN time")
@@ -218,6 +223,8 @@ func (en *Engine) Cancel(r EventRef) {
 }
 
 // release invalidates outstanding refs and returns e to the free list.
+//
+//gcslint:zeroalloc
 func (en *Engine) release(e *Event) {
 	e.gen++
 	e.fn = nil
@@ -230,6 +237,8 @@ func (en *Engine) release(e *Event) {
 // fire advances time to e, recycles it, and runs its callback. The event
 // is released before the callback so the callback may schedule new events
 // that reuse it; outstanding refs are already stale by then.
+//
+//gcslint:zeroalloc
 func (en *Engine) fire(e *Event) {
 	en.now = e.t
 	en.executed++
@@ -366,6 +375,7 @@ func eventLess(a, b *Event) bool {
 	return a.seq < b.seq
 }
 
+//gcslint:zeroalloc
 func (en *Engine) push(e *Event) {
 	en.heap = append(en.heap, e)
 	e.index = int32(len(en.heap) - 1)
@@ -373,6 +383,8 @@ func (en *Engine) push(e *Event) {
 }
 
 // remove deletes the event at heap position i, restoring the invariant.
+//
+//gcslint:zeroalloc
 func (en *Engine) remove(i int) {
 	h := en.heap
 	n := len(h) - 1
@@ -392,6 +404,7 @@ func (en *Engine) remove(i int) {
 	e.index = -1
 }
 
+//gcslint:zeroalloc
 func (en *Engine) siftUp(i int) {
 	h := en.heap
 	e := h[i]
@@ -408,6 +421,7 @@ func (en *Engine) siftUp(i int) {
 	e.index = int32(i)
 }
 
+//gcslint:zeroalloc
 func (en *Engine) siftDown(i int) {
 	h := en.heap
 	n := len(h)

@@ -140,7 +140,7 @@ func (g *Dynamic) Reset(n int, initial []Edge) {
 	}
 	g.n = n
 	clear(g.present)
-	for e, ivs := range g.hist {
+	for e, ivs := range g.hist { //gcslint:allow maprange — bulk clear, no order observable
 		g.hist[e] = ivs[:0]
 	}
 	g.lastT = 0
@@ -273,7 +273,7 @@ func (g *Dynamic) AppendNeighbors(u int, buf []int) []int {
 // (maxima, counts) on hot paths; use CurrentEdges when a sorted snapshot
 // is needed.
 func (g *Dynamic) RangeCurrentEdges(f func(Edge)) {
-	for e := range g.present {
+	for e := range g.present { //gcslint:allow maprange — callers are contractually order-independent (see doc comment)
 		f(e)
 	}
 }

@@ -64,6 +64,7 @@ func newDriftClock(h *host, start time.Time) *DriftClock {
 
 // Now returns the clock's current hardware reading.
 func (c *DriftClock) Now() float64 {
+	//gcslint:allow nondeterminism — rt IS the wall-clock harness; this anchor is its by-design time source
 	return c.lastH + c.rate*time.Since(c.lastW).Seconds()
 }
 
@@ -81,7 +82,7 @@ func (c *DriftClock) SetRate(rate float64) {
 	if rate <= 0 || math.IsNaN(rate) {
 		panic("rt: hardware rate must be positive")
 	}
-	now := time.Now()
+	now := time.Now() //gcslint:allow nondeterminism — re-anchors the piecewise-linear segment at the rate change
 	c.lastH += c.rate * now.Sub(c.lastW).Seconds()
 	c.lastW = now
 	c.rate = rate

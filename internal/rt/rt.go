@@ -263,7 +263,7 @@ func New(cfg sim.Config) (*Runtime, error) {
 }
 
 // simNow is the simulated time: wall seconds since the run started.
-func (r *Runtime) simNow() float64 { return time.Since(r.start).Seconds() }
+func (r *Runtime) simNow() float64 { return time.Since(r.start).Seconds() } //gcslint:allow nondeterminism — rt's simulated time IS wall time by definition
 
 // closed reports whether the run is shutting down; detached goroutines
 // (churn) check it so late timer firings cannot mutate a finished run.
@@ -418,7 +418,7 @@ func stopTimer(t *time.Timer) {
 func (r *Runtime) Run() sim.SkewReport {
 	cfg := r.cfg
 	n := cfg.N
-	r.start = time.Now()
+	r.start = time.Now() //gcslint:allow nondeterminism — run epoch; all rt timestamps are offsets from it
 	r.done = make(chan struct{})
 	r.report = sim.SkewReport{}
 	r.goodSince = -1

@@ -106,6 +106,8 @@ func (gc *GradientChecker) structRecomputes() int {
 }
 
 // bucket folds one pair observation at distance d.
+//
+//gcslint:zeroalloc
 func (gc *GradientChecker) bucket(d int, diff float64) {
 	if diff > gc.maxByDist[d] {
 		gc.maxByDist[d] = diff
@@ -117,6 +119,8 @@ func (gc *GradientChecker) bucket(d int, diff float64) {
 
 // observe folds one sample into the buckets: vals[i] is node i's logical
 // clock at the sample instant, g supplies the current topology.
+//
+//gcslint:zeroalloc
 func (gc *GradientChecker) observe(g *dyngraph.Dynamic, vals []float64) {
 	gc.samples++
 	if gc.bd != nil {
@@ -156,6 +160,8 @@ func (gc *GradientChecker) observe(g *dyngraph.Dynamic, vals []float64) {
 // observeBall buckets u against every node in its radius-capped ball.
 // Pairs with both endpoints in the source set are folded twice; the
 // buckets take a max, so the duplicate is harmless.
+//
+//gcslint:zeroalloc
 func (gc *GradientChecker) observeBall(u int, vals []float64) {
 	nodes, dists := gc.bd.Ball(u)
 	lu := vals[u]
@@ -166,6 +172,8 @@ func (gc *GradientChecker) observeBall(u int, vals []float64) {
 
 // observeRow buckets u against every reachable node from its exact
 // distance row.
+//
+//gcslint:zeroalloc
 func (gc *GradientChecker) observeRow(u int, vals []float64) {
 	row := gc.dm.Row(u)
 	lu := vals[u]

@@ -3,6 +3,8 @@ package sim
 import (
 	"math"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"gcs/internal/clock"
 	"gcs/internal/des"
@@ -79,6 +81,20 @@ type ParallelSim struct {
 	report      SkewReport
 	lastSampleT float64
 	started     bool
+
+	// Shard-local sample reduction. shardStart[s]..shardStart[s+1] is
+	// shard s's contiguous node block (the same block partition as
+	// shardOf); sampleLo/sampleHi hold per-shard partial extrema, merged
+	// in fixed shard order so the result is bit-identical to the serial
+	// left-to-right scan. runWorkers is the worker count Run resolved;
+	// like Workers itself it is execution, not physics.
+	shardStart   []int32
+	sampleLo     []float64
+	sampleHi     []float64
+	sampleNext   atomic.Int64
+	sampleWG     sync.WaitGroup
+	sampleWorker func()
+	runWorkers   int
 
 	// Fault-injection state, mirroring the serial harness. msgFaults is
 	// non-nil only while the active plan has message faults (msgFaultsPool
@@ -488,6 +504,33 @@ func (ps *ParallelSim) build(cfg Config) {
 		// keep almost all edges shard-internal.
 		ps.shardOf[i] = int32(i * cfg.Shards / cfg.N)
 	}
+	// Shard block boundaries for the sample scan: first node of each
+	// shard, with a backward min-pass so an empty shard (Shards > N)
+	// collapses to a zero-width range.
+	ps.shardStart = make([]int32, cfg.Shards+1)
+	for s := 0; s <= cfg.Shards; s++ {
+		ps.shardStart[s] = int32(cfg.N)
+	}
+	for i := cfg.N - 1; i >= 0; i-- {
+		ps.shardStart[ps.shardOf[i]] = int32(i)
+	}
+	for s := cfg.Shards - 1; s >= 0; s-- {
+		if ps.shardStart[s] > ps.shardStart[s+1] {
+			ps.shardStart[s] = ps.shardStart[s+1]
+		}
+	}
+	ps.sampleLo = make([]float64, cfg.Shards)
+	ps.sampleHi = make([]float64, cfg.Shards)
+	ps.sampleWorker = func() {
+		defer ps.sampleWG.Done()
+		for {
+			s := int(ps.sampleNext.Add(1) - 1)
+			if s >= len(ps.shards) {
+				return
+			}
+			ps.observeShard(s)
+		}
+	}
 	ps.P.SetCrossHandler(func(dst int, m des.CrossMsg) {
 		sh := ps.shards[dst]
 		fi := sh.alloc()
@@ -547,19 +590,27 @@ func (ps *ParallelSim) churner() dyngraph.Churner {
 	panic("sim: unknown churn kind")
 }
 
-// observe records one skew sample. It runs on the global engine, with
-// every shard barriered at the sample instant, so every clock read is
-// consistent.
-func (ps *ParallelSim) observe() {
+// parallelSampleMinNodes gates the concurrent sample scan: below this
+// node count the serial scan wins (and the tight allocs/op pins of the
+// small-N benches stay intact — spawning sample workers costs a few
+// allocations per sample). Tests lower it to force the concurrent path.
+var parallelSampleMinNodes = 4096
+
+// observeShard scans shard s's node block, filling the shared value
+// slice (disjoint index ranges per shard) and the shard's partial
+// extrema. Safe to run concurrently across shards: at the sample
+// instant every shard is barriered, so clock reads are consistent and
+// nothing else touches vals.
+func (ps *ParallelSim) observeShard(s int) {
 	lo, hi := math.Inf(1), math.Inf(-1)
-	for i, nd := range ps.Nodes {
+	for i := int(ps.shardStart[s]); i < int(ps.shardStart[s+1]); i++ {
 		if ps.downMask != nil && ps.downMask[i] {
 			// Crashed nodes are NaN-poisoned out of every consumer, exactly
 			// as in the serial harness's observe.
 			ps.vals[i] = math.NaN()
 			continue
 		}
-		l := nd.Logical()
+		l := ps.Nodes[i].Logical()
 		ps.vals[i] = l
 		if l < lo {
 			lo = l
@@ -568,6 +619,59 @@ func (ps *ParallelSim) observe() {
 			hi = l
 		}
 	}
+	ps.sampleLo[s], ps.sampleHi[s] = lo, hi
+}
+
+// observeScan computes the sample's global extrema and fills vals.
+// Large runs with multiple workers scan shard blocks concurrently and
+// merge the per-shard partials in fixed shard order — float min/max is
+// exact and the blocks tile the index range, so the result is
+// bit-identical to the serial left-to-right scan it replaces (which was
+// the last O(n) serial stretch on the sampling path).
+func (ps *ParallelSim) observeScan() (lo, hi float64) {
+	n := len(ps.Nodes)
+	if ps.runWorkers > 1 && n >= parallelSampleMinNodes {
+		w := ps.runWorkers
+		if w > len(ps.shards) {
+			w = len(ps.shards)
+		}
+		ps.sampleNext.Store(0)
+		ps.sampleWG.Add(w)
+		for k := 0; k < w; k++ {
+			go ps.sampleWorker()
+		}
+		ps.sampleWG.Wait()
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for s := range ps.shards {
+			if ps.sampleLo[s] < lo {
+				lo = ps.sampleLo[s]
+			}
+			if ps.sampleHi[s] > hi {
+				hi = ps.sampleHi[s]
+			}
+		}
+		return lo, hi
+	}
+	for s := range ps.shards {
+		ps.observeShard(s)
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for s := range ps.shards {
+		if ps.sampleLo[s] < lo {
+			lo = ps.sampleLo[s]
+		}
+		if ps.sampleHi[s] > hi {
+			hi = ps.sampleHi[s]
+		}
+	}
+	return lo, hi
+}
+
+// observe records one skew sample. It runs on the global engine, with
+// every shard barriered at the sample instant, so every clock read is
+// consistent.
+func (ps *ParallelSim) observe() {
+	lo, hi := ps.observeScan()
 	spread := hi - lo
 	if hi < lo {
 		spread = 0 // every node down: no live pair to skew
@@ -609,6 +713,7 @@ func (ps *ParallelSim) Run() SkewReport {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	ps.runWorkers = workers
 	ps.P.Run(cfg.Horizon, workers)
 	if ps.report.Samples == 0 || ps.lastSampleT < cfg.Horizon {
 		ps.observe()

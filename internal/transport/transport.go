@@ -353,6 +353,8 @@ func (n *Network) send(from, to int, e dyngraph.Edge, value float64) {
 // spikedDelay, when positive, is a fault-injected delay that may exceed
 // maxDelay and bypasses the nominal-law validation; 0 draws from the
 // usual delay law.
+//
+//gcslint:zeroalloc
 func (n *Network) sendOne(from, to int, e dyngraph.Edge, value float64, spikedDelay float64) {
 	now := n.en.Now()
 	slot := n.slotFor(e)
@@ -415,6 +417,8 @@ func (n *Network) sendOne(from, to int, e dyngraph.Edge, value float64, spikedDe
 // must not be called reentrantly from inside another Broadcast's send
 // loop (deliveries happen later, from engine events, so handlers may
 // broadcast freely).
+//
+//gcslint:zeroalloc
 func (n *Network) Broadcast(from int, value float64) int {
 	n.nbuf = n.g.AppendNeighbors(from, n.nbuf[:0])
 	for _, v := range n.nbuf {
@@ -425,6 +429,8 @@ func (n *Network) Broadcast(from int, value float64) int {
 
 // allocFlight returns a free arena index, growing the arena if the free
 // list is empty.
+//
+//gcslint:zeroalloc
 func (n *Network) allocFlight() uint32 {
 	if k := len(n.freeFlights); k > 0 {
 		fi := n.freeFlights[k-1]
@@ -437,6 +443,8 @@ func (n *Network) allocFlight() uint32 {
 
 // slotFor returns e's slot, assigning one (recycled if possible) on
 // first use since the edge last appeared.
+//
+//gcslint:zeroalloc
 func (n *Network) slotFor(e dyngraph.Edge) int32 {
 	slot, ok := n.edgeSlot[e]
 	if !ok {
@@ -457,6 +465,8 @@ func (n *Network) slotFor(e dyngraph.Edge) int32 {
 // runs, so the handler may send new messages that reuse it; a multi-value
 // flight is released after the handler returns, because the delivered
 // Message.Values aliases the flight's pooled buffer.
+//
+//gcslint:zeroalloc
 func (n *Network) deliver(fi uint32) {
 	f := &n.flights[fi]
 	sl := &n.slots[f.slot]
