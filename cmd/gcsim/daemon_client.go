@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gcs/internal/jobd"
+	"gcs/internal/sim"
+	"gcs/internal/store"
+)
+
+// clientRetryBudget bounds how long the sweep client keeps retrying
+// transient daemon failures (connection refused while it restarts,
+// 429 backpressure, 503 during a drain) before giving up. Because the
+// daemon's result store is durable and its job IDs are deterministic,
+// every retry — including a resubmit after the daemon was killed and
+// restarted — lands on the same job and loses no work.
+const clientRetryBudget = 5 * time.Minute
+
+// daemonSweep submits the sweep spec to a gcsimd instance, polls the
+// job to completion (surviving daemon restarts), and rebuilds the
+// cells' stored facts into the same []sim.SweepResult a local
+// sim.RunSweep would return — determinism makes the two byte-identical.
+func daemonSweep(base string, spec jobd.SweepSpec, cellCount int) []sim.SweepResult {
+	base = strings.TrimRight(base, "/")
+	body, err := spec.CanonicalJSON()
+	if err != nil {
+		fail("sweep: %v", err)
+	}
+	deadline := time.Now().Add(clientRetryBudget)
+
+	id := submitJob(base, body, deadline)
+	lastDone := -1
+	for {
+		view, ok := fetchJob(base, id, deadline)
+		if !ok {
+			// The daemon lost the job (e.g. restarted on an empty data
+			// dir). Resubmitting is safe: the spec maps to the same ID.
+			id = submitJob(base, body, deadline)
+			continue
+		}
+		if view.Done != lastDone {
+			fmt.Printf("sweep: daemon progress %d/%d cells\n", view.Done, view.Cells)
+			lastDone = view.Done
+		}
+		if view.Status == store.StatusDone {
+			break
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+
+	cells := fetchResults(base, id, deadline)
+	if len(cells) != cellCount {
+		fail("sweep: daemon returned %d cells, want %d", len(cells), cellCount)
+	}
+	results := make([]sim.SweepResult, len(cells))
+	failures := 0
+	for _, cv := range cells {
+		if cv.Index < 0 || cv.Index >= len(results) {
+			fail("sweep: daemon returned cell index %d out of range", cv.Index)
+		}
+		if !cv.Done || cv.Result == nil {
+			fail("sweep: daemon reported the job done but cell %q has no result", cv.Name)
+		}
+		res := sim.SweepResult{Name: cv.Name, Cfg: cv.Result.Cfg, Report: cv.Result.Report}
+		if cv.Result.Failed() {
+			failures++
+			fmt.Fprintf(os.Stderr, "sweep: cell %q failed on the daemon: %s\n", cv.Name, cv.Result.Err)
+		}
+		results[cv.Index] = res
+	}
+	if failures > 0 {
+		fail("sweep: %d cell(s) failed on the daemon", failures)
+	}
+	return results
+}
+
+// submitJob POSTs the spec until the daemon admits it, honoring 429
+// Retry-After backpressure and riding out restarts.
+func submitJob(base string, body []byte, deadline time.Time) string {
+	for {
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			retryOrFail(deadline, time.Second, "submit: %v", err)
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK:
+			var view jobd.JobView
+			err := json.NewDecoder(resp.Body).Decode(&view)
+			resp.Body.Close()
+			if err != nil || view.ID == "" {
+				fail("sweep: daemon admitted the job but returned no ID (%v)", err)
+			}
+			return view.ID
+		case http.StatusTooManyRequests:
+			wait := retryAfter(resp, 2*time.Second)
+			resp.Body.Close()
+			retryOrFail(deadline, wait, "daemon queue is full")
+		case http.StatusServiceUnavailable:
+			resp.Body.Close()
+			retryOrFail(deadline, 2*time.Second, "daemon is draining")
+		default:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			fail("sweep: daemon rejected the job (%s): %s", resp.Status, strings.TrimSpace(string(msg)))
+		}
+	}
+}
+
+// fetchJob GETs the job's status; false means the daemon answered 404.
+func fetchJob(base, id string, deadline time.Time) (jobd.JobView, bool) {
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			retryOrFail(deadline, time.Second, "poll: %v", err)
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			resp.Body.Close()
+			return jobd.JobView{}, false
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			retryOrFail(deadline, time.Second, "poll: %s", resp.Status)
+			continue
+		}
+		var view jobd.JobView
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			retryOrFail(deadline, time.Second, "poll: %v", err)
+			continue
+		}
+		return view, true
+	}
+}
+
+// fetchResults GETs the finished job's cells.
+func fetchResults(base, id string, deadline time.Time) []jobd.CellView {
+	for {
+		resp, err := http.Get(base + "/jobs/" + id + "/results")
+		if err != nil {
+			retryOrFail(deadline, time.Second, "results: %v", err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			retryOrFail(deadline, time.Second, "results: %s", resp.Status)
+			continue
+		}
+		var rr struct {
+			Cells []jobd.CellView `json:"cells"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&rr)
+		resp.Body.Close()
+		if err != nil {
+			retryOrFail(deadline, time.Second, "results: %v", err)
+			continue
+		}
+		return rr.Cells
+	}
+}
+
+// retryOrFail sleeps before the next attempt, or fails the command once
+// the retry budget is spent.
+func retryOrFail(deadline time.Time, wait time.Duration, format string, args ...any) {
+	if time.Now().After(deadline) {
+		fail("sweep: daemon unreachable past the retry budget; last error — "+format, args...)
+	}
+	fmt.Printf("sweep: transient daemon error (%s); retrying in %s\n", fmt.Sprintf(format, args...), wait)
+	time.Sleep(wait)
+}
+
+// retryAfter reads a Retry-After seconds header, defaulting when absent
+// or unparsable.
+func retryAfter(resp *http.Response, def time.Duration) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 && secs <= 600 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return def
+}

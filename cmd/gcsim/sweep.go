@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"gcs/internal/jobd"
 	"gcs/internal/sim"
 )
 
@@ -40,10 +41,15 @@ type sweepRow struct {
 }
 
 // runSweep implements `gcsim sweep`: a general scenario grid — node
-// counts x topologies x drivers x churn processes — fanned across
-// arena-backed workers (sim.RunSweep). Each cell gets a deterministic
-// per-cell seed derived from -seed and its grid index, so the sweep is
-// reproducible and bit-identical for every -workers value. Every cell's
+// counts x topologies x drivers x churn processes — expanded by
+// jobd.SweepSpec (the same expansion the sweep service uses, so local
+// runs and daemon runs name, seed, and order their cells identically)
+// and fanned across arena-backed workers (sim.RunSweep). Each cell
+// gets a deterministic per-cell seed derived from -seed and its grid
+// index, so the sweep is reproducible and bit-identical for every
+// -workers value. With -daemon URL the grid is instead submitted to a
+// running gcsimd instance and the stored results are fetched back —
+// determinism makes the two paths byte-identical. Every cell's
 // observed global skew is checked against its analytic bound; any
 // violation makes the command exit nonzero. Results are printed as a
 // table and dumped to sweep_results.csv and sweep_report.json.
@@ -64,6 +70,7 @@ func runSweep(args []string) {
 		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		parallel = fs.Bool("parallel", false, "run every cell on the sharded parallel engine (its own delay physics)")
 		shards   = fs.Int("shards", 0, "parallel shard count per cell — part of the physics (0 = default)")
+		daemon   = fs.String("daemon", "", "submit the sweep to a gcsimd instance at this base URL instead of running locally")
 		out      = fs.String("out", ".", "directory for sweep_results.csv and sweep_report.json")
 	)
 	ff := addFaultFlags(fs)
@@ -77,58 +84,45 @@ func runSweep(args []string) {
 		fail("sweep: %v", err)
 	}
 
-	var cells []sim.SweepCell
-	for _, n := range ns {
-		for _, topoName := range splitList(*topos) {
-			for _, drvName := range splitList(*drivers) {
-				for _, churnName := range splitList(*churns) {
-					// The rotating star ignores the topology spec (the churner
-					// builds its own stars), so emit it once per (n, driver)
-					// — on the first topology of the list — labeled "-".
-					star := churnName == "rotatingstar"
-					if star && topoName != splitList(*topos)[0] {
-						continue
-					}
-					cfg := sim.Config{
-						N:           n,
-						Horizon:     *horizon,
-						Rho:         *rho,
-						MaxDelay:    *delay,
-						SampleEvery: *sample,
-						// The sweep already parallelizes across cells, so each
-						// parallel cell runs its windows on one worker — the
-						// report is worker-invariant, so this is pure scheduling.
-						Parallel: *parallel,
-						Shards:   *shards,
-						Workers:  1,
-					}
-					cfg.Node.BeaconEvery = *beacon
-					cfg.Driver = parseDriver(drvName, *interval)
-					cfg.Churn = parseChurn(churnName, n)
-					cfg.Faults = ff.spec()
-					label := topoName
-					if star {
-						label = "-"
-					} else {
-						cfg.Topology = parseTopology(topoName, n)
-					}
-					cfg.Seed = sim.CellSeed(*seed, len(cells))
-					name := fmt.Sprintf("%s/%s/%s/n=%d", label, drvName, churnName, n)
-					cells = append(cells, sim.SweepCell{Name: name, Cfg: cfg})
-				}
-			}
-		}
+	spec := jobd.SweepSpec{
+		Ns:       ns,
+		Topos:    splitList(*topos),
+		Drivers:  splitList(*drivers),
+		Churns:   splitList(*churns),
+		Seed:     *seed,
+		Horizon:  *horizon,
+		Rho:      *rho,
+		MaxDelay: *delay,
+		Beacon:   *beacon,
+		Sample:   *sample,
+		Interval: *interval,
+		Parallel: *parallel,
+		Shards:   *shards,
+		Faults:   ff.spec(),
+	}
+	if err := spec.Validate(); err != nil {
+		fail("sweep: %v", err)
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		fail("sweep: %v", err)
 	}
 
 	w := *workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("sweep: %d cells across %d workers\n", len(cells), w)
+	var results []sim.SweepResult
 	start := time.Now()
-	results, err := sim.RunSweep(cells, *workers)
-	if err != nil {
-		fail("sweep: %v", err)
+	if *daemon != "" {
+		fmt.Printf("sweep: %d cells via daemon %s\n", len(cells), *daemon)
+		results = daemonSweep(*daemon, spec, len(cells))
+	} else {
+		fmt.Printf("sweep: %d cells across %d workers\n", len(cells), w)
+		results, err = sim.RunSweep(cells, *workers)
+		if err != nil {
+			fail("sweep: %v", err)
+		}
 	}
 	elapsed := time.Since(start)
 
@@ -228,55 +222,4 @@ func splitList(s string) []string {
 		fail("sweep: empty list flag")
 	}
 	return out
-}
-
-// parseTopology maps a topology name to its spec; grid uses the most
-// square factorization of n.
-func parseTopology(name string, n int) sim.TopologySpec {
-	switch name {
-	case "line":
-		return sim.TopologySpec{Kind: sim.TopoLine}
-	case "ring":
-		return sim.TopologySpec{Kind: sim.TopoRing}
-	case "star":
-		return sim.TopologySpec{Kind: sim.TopoStar}
-	case "grid":
-		w := gridW(n)
-		return sim.TopologySpec{Kind: sim.TopoGrid, W: w, H: n / w}
-	case "complete":
-		return sim.TopologySpec{Kind: sim.TopoComplete}
-	}
-	fail("sweep: unknown topology %q", name)
-	panic("unreachable")
-}
-
-// parseDriver maps a driver name to its spec.
-func parseDriver(name string, interval float64) sim.DriverSpec {
-	switch name {
-	case "constant":
-		return sim.DriverSpec{Kind: sim.DriveConstant, Interval: interval}
-	case "randomwalk":
-		return sim.DriverSpec{Kind: sim.DriveRandomWalk, Interval: interval}
-	case "bangbang":
-		return sim.DriverSpec{Kind: sim.DriveBangBang, Interval: interval}
-	}
-	fail("sweep: unknown driver %q", name)
-	panic("unreachable")
-}
-
-// parseChurn maps a churn name to its spec, scaling the volatile
-// candidate pool with n.
-func parseChurn(name string, n int) sim.ChurnSpec {
-	switch name {
-	case "none":
-		return sim.ChurnSpec{}
-	case "volatile":
-		return sim.ChurnSpec{
-			Kind: sim.ChurnVolatile, Lifetime: 1.5, Absence: 1.0, ExtraEdges: n / 2,
-		}
-	case "rotatingstar":
-		return sim.ChurnSpec{Kind: sim.ChurnRotatingStar, Period: 2, Overlap: 0.5}
-	}
-	fail("sweep: unknown churn %q", name)
-	panic("unreachable")
 }

@@ -17,6 +17,14 @@ import "strings"
 // deterministicPkgs are the packages whose executions must be pure
 // functions of the scenario Config (bit-identical reports across reruns
 // and worker counts). nondeterminism and maprange bind here.
+//
+// internal/store and internal/jobd are inside the contract because the
+// sweep service's whole design rests on cell results being cacheable
+// facts: the store content-addresses configs and the daemon dedupes,
+// retries, and resumes against those addresses. Wall time may enter
+// only through jobd's injected Clock seam (whose production edge
+// carries the per-site allow), never the scheduling or storage logic
+// itself.
 var deterministicPkgs = map[string]bool{
 	"gcs/internal/des":       true,
 	"gcs/internal/sim":       true,
@@ -27,6 +35,8 @@ var deterministicPkgs = map[string]bool{
 	"gcs/internal/clock":     true,
 	"gcs/internal/seam":      true,
 	"gcs/internal/rt":        true,
+	"gcs/internal/store":     true,
+	"gcs/internal/jobd":      true,
 }
 
 // maprangeExtraPkgs extends the maprange contract to the CLI: its

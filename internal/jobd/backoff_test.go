@@ -1,0 +1,62 @@
+package jobd
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministic: a schedule is a pure function of its seed.
+func TestBackoffDeterministic(t *testing.T) {
+	a := NewBackoff(100*time.Millisecond, 5*time.Second, 42)
+	b := NewBackoff(100*time.Millisecond, 5*time.Second, 42)
+	for i := 0; i < 20; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("step %d: same seed diverged (%s vs %s)", i, x, y)
+		}
+	}
+	c := NewBackoff(100*time.Millisecond, 5*time.Second, 43)
+	same := true
+	d := NewBackoff(100*time.Millisecond, 5*time.Second, 42)
+	for i := 0; i < 20; i++ {
+		if c.Next() != d.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 20-step schedules")
+	}
+}
+
+// TestBackoffBounds: every wait lies in [base, limit], and the schedule
+// grows toward the limit rather than collapsing.
+func TestBackoffBounds(t *testing.T) {
+	base, limit := 50*time.Millisecond, 2*time.Second
+	bo := NewBackoff(base, limit, 7)
+	hitLimitHalf := false
+	for i := 0; i < 100; i++ {
+		d := bo.Next()
+		if d < base || d > limit {
+			t.Fatalf("step %d: wait %s outside [%s, %s]", i, d, base, limit)
+		}
+		if d >= limit/2 {
+			hitLimitHalf = true
+		}
+	}
+	if !hitLimitHalf {
+		t.Fatal("schedule never grew past half the limit in 100 steps")
+	}
+}
+
+// TestBackoffDefaults: zero base and an inverted limit normalize to
+// usable values instead of a degenerate schedule.
+func TestBackoffDefaults(t *testing.T) {
+	bo := NewBackoff(0, 0, 1)
+	d := bo.Next()
+	if d < 100*time.Millisecond || d > 5*time.Second {
+		t.Fatalf("defaulted schedule yielded %s", d)
+	}
+	big := NewBackoff(10*time.Second, time.Second, 1)
+	if d := big.Next(); d != 10*time.Second {
+		t.Fatalf("limit below base should clamp to base, got %s", d)
+	}
+}

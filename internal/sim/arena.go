@@ -58,6 +58,40 @@ func (a *Arena) Run(cfg Config) SkewReport {
 	return a.Sim(cfg).Run()
 }
 
+// RunSliced is Run with a cooperative-preemption seam for long cells:
+// a long-running sweep service needs per-cell deadlines and graceful
+// drain, but a simulation cannot be interrupted mid-event. Serial
+// configs therefore advance in slices of slice simulated seconds,
+// calling cont between slices; when cont returns false the run is
+// abandoned — ok is false, the report is zero-valued, and the arena is
+// left ready for the next cell (the next Run rewires it in place).
+// A completed run's report is bit-identical to Run(cfg): slicing only
+// changes where the engine pauses, never what it executes, which
+// TestArenaRunSlicedBitIdentical pins.
+//
+// Parallel configs have no mid-run seam (the sharded engine owns its
+// window loop), so they consult cont once up front and then execute in
+// one piece; a nil cont or nonpositive slice degrades to Run.
+func (a *Arena) RunSliced(cfg Config, slice float64, cont func() bool) (report SkewReport, ok bool) {
+	if cont == nil {
+		return a.Run(cfg), true
+	}
+	if !cont() {
+		return SkewReport{}, false
+	}
+	if cfg.Parallel || slice <= 0 {
+		return a.Run(cfg), true
+	}
+	s := a.Sim(cfg)
+	for t := slice; t < s.Cfg.Horizon; t += slice {
+		s.Advance(t)
+		if !cont() {
+			return SkewReport{}, false
+		}
+	}
+	return s.Run(), true
+}
+
 // Trace returns the arena's reusable trace recorder reshaped for n
 // nodes and capacity samples, creating it on first use. Like the
 // simulation it accompanies, the recorder's buffers are reused across

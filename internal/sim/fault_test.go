@@ -70,9 +70,12 @@ func TestRunReturnsErrorsNotPanics(t *testing.T) {
 	}
 }
 
-// TestRunSweepRejectsMalformedCell: one bad cell rejects the whole
-// sweep up front, identifying the cell, with no panic.
-func TestRunSweepRejectsMalformedCell(t *testing.T) {
+// TestRunSweepSurfacesPerCellErrors: a malformed cell fails only
+// itself — the error is surfaced on that cell (and joined into the
+// aggregate error) while every valid sibling still runs and reports
+// identically to a solo run. One bad cell must not discard its
+// siblings; a sweep service depends on this seam.
+func TestRunSweepSurfacesPerCellErrors(t *testing.T) {
 	bad := churnyConfig(2)
 	bad.Rho = 2
 	cells := []SweepCell{
@@ -81,11 +84,22 @@ func TestRunSweepRejectsMalformedCell(t *testing.T) {
 	}
 	out, err := RunSweep(cells, 2)
 	if err == nil {
-		t.Fatal("RunSweep accepted a sweep with a malformed cell")
+		t.Fatal("RunSweep returned nil aggregate error despite a malformed cell")
 	}
-	if out != nil {
-		t.Fatalf("partial results alongside error: %v", out)
+	if len(out) != 2 {
+		t.Fatalf("got %d results, want 2", len(out))
 	}
+	if out[0].Err != nil {
+		t.Fatalf("valid sibling failed: %v", out[0].Err)
+	}
+	if out[1].Err == nil {
+		t.Fatal("malformed cell carries no error")
+	}
+	if !reflect.DeepEqual(out[1].Report, SkewReport{}) {
+		t.Fatalf("malformed cell has a non-zero report: %+v", out[1].Report)
+	}
+	solo := mustRun(t, churnyConfig(1))
+	simtest.AssertSameReport(t, "sibling vs solo run", out[0].Report, solo)
 }
 
 // TestFaultedRunDeterministic: a fully faulted serial run is

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"gcs/internal/simtest"
+)
+
+// TestArenaRunSlicedBitIdentical: slicing only changes where the engine
+// pauses between events, never what it executes — a sliced cell's
+// report is bit-identical to an unsliced run. The sweep service runs
+// every cell through this seam, so resumed jobs stay comparable to
+// uninterrupted ones.
+func TestArenaRunSlicedBitIdentical(t *testing.T) {
+	cfg := churnyConfig(11)
+	want := mustRun(t, cfg)
+	a := NewArena()
+	calls := 0
+	got, ok := a.RunSliced(cfg, 0.7, func() bool { calls++; return true })
+	if !ok {
+		t.Fatal("RunSliced abandoned a run whose cont always allowed it")
+	}
+	if calls < 2 {
+		t.Fatalf("cont consulted %d times; slicing is not happening", calls)
+	}
+	simtest.AssertSameReport(t, "sliced vs plain run", got, want)
+}
+
+// TestArenaRunSlicedParallel: parallel configs have no mid-run seam and
+// degrade to one-piece execution, still bit-identical to Run.
+func TestArenaRunSlicedParallel(t *testing.T) {
+	cfg := Config{N: 48, Seed: 5, Horizon: 4, Parallel: true, Shards: 4, Workers: 2}
+	want := mustRun(t, cfg)
+	got, ok := NewArena().RunSliced(cfg, 0.5, func() bool { return true })
+	if !ok {
+		t.Fatal("RunSliced abandoned a parallel run whose cont allowed it")
+	}
+	simtest.AssertSameReport(t, "sliced parallel vs plain run", got, want)
+}
+
+// TestArenaRunSlicedAbandon: a false cont abandons the cell with a
+// zero report, and the arena remains fully reusable — the next run is
+// bit-identical to a fresh one, which is what lets a draining daemon
+// abandon in-flight cells and re-run them after restart.
+func TestArenaRunSlicedAbandon(t *testing.T) {
+	cfg := churnyConfig(11)
+	a := NewArena()
+	budget := 2
+	rpt, ok := a.RunSliced(cfg, 0.5, func() bool { budget--; return budget >= 0 })
+	if ok {
+		t.Fatal("RunSliced completed a run its cont abandoned")
+	}
+	if !reflect.DeepEqual(rpt, SkewReport{}) {
+		t.Fatalf("abandoned run leaked a partial report: %+v", rpt)
+	}
+	got, ok := a.RunSliced(cfg, 0.5, func() bool { return true })
+	if !ok {
+		t.Fatal("arena run after abandonment did not complete")
+	}
+	simtest.AssertSameReport(t, "post-abandon rerun vs fresh run", got, mustRun(t, cfg))
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -19,11 +20,14 @@ type SweepCell struct {
 // SweepResult pairs a cell with its finished report. Cfg is the
 // defaulted config the run actually used, so consumers can evaluate
 // analytic bounds (GradientBound, GlobalSkewBound) without re-deriving
-// defaults.
+// defaults. Err, when non-nil, is the cell's validation error: the cell
+// did not run (Cfg and Report are zero-valued) but its siblings did —
+// one malformed cell never discards the rest of the sweep.
 type SweepResult struct {
 	Name   string
 	Cfg    Config
 	Report SkewReport
+	Err    error
 }
 
 // CellSeed derives a per-cell seed from a base seed and the cell's grid
@@ -76,22 +80,53 @@ func forEachCell(n, workers int, run func(i int, a *Arena)) {
 // bit-identical for every worker count — including workers == 1, the
 // serial order — which TestSweepParallelBitIdentical pins.
 //
-// Every cell is validated up front: one malformed config rejects the
-// whole sweep with a descriptive error before any cell runs, so a
-// sweep service never dies mid-grid on a panic.
+// Every cell is validated up front, but a malformed config fails only
+// its own cell: the result carries the cell's error while every valid
+// sibling still runs and reports. The returned error joins the per-cell
+// errors (nil when every cell ran), so callers that treat any failure
+// as fatal keep a single check while sweep services read the per-cell
+// slice.
 func RunSweep(cells []SweepCell, workers int) ([]SweepResult, error) {
-	for i := range cells {
-		if err := cells[i].Cfg.Validate(); err != nil {
-			return nil, fmt.Errorf("sweep cell %d (%s): %w", i, cells[i].Name, err)
+	out := RunSweepWith(cells, workers, nil)
+	var errs []error
+	for i := range out {
+		if out[i].Err != nil {
+			errs = append(errs, out[i].Err)
 		}
 	}
+	return out, errors.Join(errs...)
+}
+
+// RunSweepWith is RunSweep's progress-callback form: onCell, when
+// non-nil, is invoked once per cell as it completes — malformed cells
+// first (with Err set, before any execution starts), then finished
+// cells in whatever order the workers complete them. onCell is called
+// from worker goroutines and must be safe for concurrent use; the
+// returned slice is always in cell order regardless.
+func RunSweepWith(cells []SweepCell, workers int, onCell func(i int, r SweepResult)) []SweepResult {
 	out := make([]SweepResult, len(cells))
-	forEachCell(len(cells), workers, func(i int, a *Arena) {
+	valid := make([]int, 0, len(cells))
+	for i := range cells {
+		out[i].Name = cells[i].Name
+		if err := cells[i].Cfg.Validate(); err != nil {
+			out[i].Err = fmt.Errorf("sweep cell %d (%s): %w", i, cells[i].Name, err)
+			if onCell != nil {
+				onCell(i, out[i])
+			}
+			continue
+		}
+		valid = append(valid, i)
+	}
+	forEachCell(len(valid), workers, func(j int, a *Arena) {
+		i := valid[j]
 		out[i] = SweepResult{
 			Name:   cells[i].Name,
 			Cfg:    cells[i].Cfg.WithDefaults(),
 			Report: a.Run(cells[i].Cfg),
 		}
+		if onCell != nil {
+			onCell(i, out[i])
+		}
 	})
-	return out, nil
+	return out
 }

@@ -1,0 +1,62 @@
+package store
+
+import "sync"
+
+// Memory is the Repository contract without durability: the same
+// last-write-wins semantics over in-process maps. Tests and embedded
+// single-run sweeps use it where a WAL directory would be overhead.
+type Memory struct {
+	mu    sync.Mutex
+	cells map[Key]CellResult
+	jobs  map[string]JobRecord
+}
+
+// NewMemory returns an empty in-memory repository.
+func NewMemory() *Memory {
+	return &Memory{cells: map[Key]CellResult{}, jobs: map[string]JobRecord{}}
+}
+
+// PutCell implements Repository.
+func (m *Memory) PutCell(c CellResult) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cells[c.Key] = c
+	return nil
+}
+
+// GetCell implements Repository.
+func (m *Memory) GetCell(k Key) (CellResult, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.cells[k]
+	return c, ok
+}
+
+// PutJob implements Repository.
+func (m *Memory) PutJob(j JobRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs[j.ID] = j
+	return nil
+}
+
+// GetJob implements Repository.
+func (m *Memory) GetJob(id string) (JobRecord, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs implements Repository.
+func (m *Memory) Jobs() []JobRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sortedJobs(m.jobs)
+}
+
+// Sync implements Repository (no-op).
+func (m *Memory) Sync() error { return nil }
+
+// Close implements Repository (no-op).
+func (m *Memory) Close() error { return nil }
